@@ -1,0 +1,25 @@
+"""Ablation A6 — BCSR register blocking vs delta compression (MB class).
+
+The plug-and-play extension payload: a whole-kernel replacement
+registered into the pool. Shape: BCSR wins where blocks are natural
+(fill ~1), delta compression wins on pointwise patterns.
+"""
+
+from repro.experiments import ablations
+
+from conftest import run_once
+
+
+def test_bcsr_vs_delta_ablation(benchmark, scale):
+    table = run_once(benchmark, ablations.bcsr_vs_delta, scale=scale)
+    print()
+    print(table.to_text())
+
+    h = table.headers
+    rows = {r[0]: r for r in table.rows}
+    blocked = rows["fem-block2"]
+    assert blocked[h.index("fill")] < 1.2
+    assert blocked[h.index("bcsr 2x2")] > blocked[h.index("delta+vec")]
+    point = rows["pointwise"]
+    assert point[h.index("fill")] > 2.0
+    assert point[h.index("delta+vec")] >= point[h.index("bcsr 2x2")]

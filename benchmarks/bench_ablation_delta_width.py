@@ -1,0 +1,30 @@
+"""Ablation A2 — delta compression width (8 vs 16 vs auto).
+
+The paper fixes "8- or 16-bit, never both"; this ablation verifies the
+automatic width choice tracks the better forced width per matrix.
+"""
+
+from repro.experiments import ablations
+
+from conftest import run_once
+
+
+def test_delta_width_ablation(benchmark, scale):
+    table = run_once(benchmark, ablations.delta_width, scale=scale)
+    print()
+    print(table.to_text())
+
+    h = table.headers
+    for row in table.rows:
+        eight, sixteen, auto = (
+            row[h.index("8-bit")], row[h.index("16-bit")],
+            row[h.index("auto")],
+        )
+        # auto must be within 10% of the better forced width (the
+        # footprint rule cannot see per-thread byte distributions)
+        assert auto >= max(eight, sixteen) * 0.90, row[0]
+
+    rows = {r[0]: r for r in table.rows}
+    # narrow-band matrices compress to 8-bit; scattered ones need 16
+    assert rows["consph"][h.index("auto width")] == "8-bit"
+    assert rows["poisson3Db"][h.index("auto width")] == "16-bit"

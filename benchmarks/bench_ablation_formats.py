@@ -1,0 +1,28 @@
+"""Ablation A7 — the format zoo across structural archetypes.
+
+CSR+flags vs whole-format replacements (delta, BCSR, SELL-C-sigma):
+no single format wins everywhere, the premise of the paper's
+adaptivity and of its choice of a CSR-based optimization pool.
+"""
+
+from repro.experiments import ablations
+
+from conftest import run_once
+
+
+def test_format_landscape(benchmark, scale):
+    table = run_once(benchmark, ablations.format_landscape, scale=scale)
+    print()
+    print(table.to_text())
+
+    h = table.headers
+    winners = set(table.column("best"))
+    # no single format dominates all archetypes
+    assert len(winners) >= 2
+    rows = {r[0]: r for r in table.rows}
+    # each replacement format wins its home archetype...
+    assert rows["fem-block2"][h.index("best")] in ("bcsr 2x2", "sell-8")
+    # ...and loses on a hostile one
+    assert rows["powerlaw"][h.index("sell-8")] < 1.0
+    assert rows["webbase-1M"][h.index("bcsr 2x2")] < \
+        rows["webbase-1M"][h.index("delta+vec")] * 1.2

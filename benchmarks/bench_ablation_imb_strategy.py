@@ -1,0 +1,27 @@
+"""Ablation A1 — IMB strategy: decomposition vs auto vs dynamic.
+
+DESIGN.md design-choice check: the pool's IMB sub-selection rule
+(decompose on huge rows, auto-schedule on regional unevenness) must
+match what an exhaustive comparison would pick.
+"""
+
+from repro.experiments import ablations
+
+from conftest import run_once
+
+
+def test_imb_strategy_ablation(benchmark, scale):
+    table = run_once(benchmark, ablations.imb_strategy, scale=scale)
+    print()
+    print(table.to_text())
+
+    h = table.headers
+    rows = {r[0]: r for r in table.rows}
+    # huge-row matrices: decomposition is the only effective remedy
+    for name in ("ASIC_680k", "FullChip"):
+        r = rows[name]
+        assert r[h.index("decompose")] > 2.0
+        assert r[h.index("decompose")] > r[h.index("auto")]
+    # control: nothing should explode on the regular matrix
+    control = rows["consph"]
+    assert 0.8 <= control[h.index("decompose")] <= 1.2

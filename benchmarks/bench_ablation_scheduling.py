@@ -1,0 +1,35 @@
+"""Ablation A3 — scheduling policies of the CSR kernel.
+
+Shape: nnz-balanced ~ static-rows on regular matrices; static-rows
+collapses on skewed ones; dynamic never catastrophically loses.
+"""
+
+from repro.experiments import ablations
+
+from conftest import run_once
+
+
+def test_scheduling_ablation(benchmark, scale):
+    table = run_once(benchmark, ablations.scheduling_policies, scale=scale)
+    print()
+    print(table.to_text())
+
+    h = table.headers
+    rows = {r[0]: r for r in table.rows}
+    regular = rows["consph"]
+    assert regular[h.index("balanced-nnz")] >= 0.9 * regular[
+        h.index("static-rows")
+    ]
+    # power-law rows: balancing nonzeros beats balancing row counts
+    powerlaw = rows["citationCiteseer"]
+    assert powerlaw[h.index("balanced-nnz")] > 1.2 * powerlaw[
+        h.index("static-rows")
+    ]
+    # a single huge row defeats *every* schedule — work stealing cannot
+    # split a row either (the unsplittable-unit floor), which is exactly
+    # why the pool needs matrix decomposition for this case
+    huge = rows["ASIC_680k"]
+    assert huge[h.index("balanced-nnz")] < 1.2 * huge[h.index("static-rows")]
+    assert huge[h.index("dynamic")] < 2.0 * huge[h.index("balanced-nnz")]
+    for row in table.rows:
+        assert row[h.index("dynamic")] > 0.5 * row[h.index("balanced-nnz")]

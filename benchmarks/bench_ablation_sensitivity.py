@@ -1,0 +1,31 @@
+"""Ablation A8 — counterfactual-machine sensitivity.
+
+The architecture-adaptivity claim probed directly: sweep KNC's
+latency-hiding parameters toward Broadwell values and watch a scattered
+matrix's detected class migrate {ML} -> {MB}, the same migration the
+paper observes between its real platforms.
+"""
+
+from repro.experiments import ablations
+
+from conftest import run_once
+
+
+def test_architecture_sensitivity(benchmark, scale):
+    table = run_once(benchmark, ablations.architecture_sensitivity,
+                     scale=scale)
+    print()
+    print(table.to_text())
+
+    h = table.headers
+    ratios = table.column("P_ML/P_CSR")
+    classes = table.column("classes")
+    # stock KNC: strongly latency bound
+    assert ratios[0] > 2.0
+    assert "ML" in classes[0]
+    # Broadwell-grade memory system: ML gone
+    assert ratios[-1] < 1.25
+    assert "ML" not in classes[-1]
+    # either knob alone already moves the needle
+    assert ratios[1] < ratios[0]
+    assert ratios[2] < ratios[0]

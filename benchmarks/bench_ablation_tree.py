@@ -1,0 +1,27 @@
+"""Ablation A4 — decision-tree depth and feature-set complexity.
+
+Shape: O(1) features alone cannot separate the classes; the paper's
+O(N)/O(NNZ) subsets can; accuracy saturates with depth.
+"""
+
+from repro.experiments import ablations
+
+from conftest import run_once
+
+
+def test_tree_ablation(benchmark, train_count):
+    table = run_once(benchmark, ablations.tree_ablation,
+                     corpus_count=min(train_count, 80))
+    print()
+    print(table.to_text())
+
+    h = table.headers
+    by_key = {(r[0], r[1]): r for r in table.rows}
+
+    def exact(features, depth):
+        return by_key[(features, depth)][h.index("exact (%)")]
+
+    # richer features at full depth beat O(1)-only features
+    assert exact("paper O(NNZ)", 12) > exact("O(1) only", 12)
+    # deeper trees never hurt much relative to stumps
+    assert exact("paper O(NNZ)", 12) >= exact("paper O(NNZ)", 2) - 10.0

@@ -1,0 +1,30 @@
+"""Benchmark E1 — regenerate paper Fig. 1.
+
+Speedup (slowdown) of each single software optimization over baseline
+CSR SpMV on KNC, across the named suite. Shape to reproduce: every
+optimization has both winners and losers.
+"""
+
+from repro.experiments import fig1
+
+from conftest import run_once
+
+
+def test_fig1_optimization_effects(benchmark, scale):
+    table = run_once(benchmark, fig1.run, scale=scale)
+    print()
+    print(table.to_text())
+
+    # Shape assertions: adaptivity is motivated — prefetching and
+    # auto-scheduling each help somewhere and hurt somewhere, and
+    # decomposition wins dramatically on long-row matrices.
+    header = table.headers
+    for opt in ("prefetching", "auto-sched"):
+        col = [row[header.index(opt)] for row in table.rows]
+        assert max(col) > 1.1, f"{opt} never wins"
+        assert min(col) < 1.0, f"{opt} never loses"
+    deco = [row[header.index("decomposition")] for row in table.rows]
+    assert max(deco) > 3.0
+    # compression is broadly useful on KNC (bandwidth-starved cards)
+    comp = [row[header.index("compression")] for row in table.rows]
+    assert sum(v > 1.0 for v in comp) > len(comp) / 2

@@ -1,0 +1,23 @@
+"""Benchmark E2 — regenerate paper Fig. 4.
+
+Baseline CSR performance vs the per-class upper bounds on KNC, plus
+the detected classes. Shape to reproduce: bottleneck diversity (several
+distinct class sets) and the bound-dominance relations.
+"""
+
+from repro.experiments import fig4
+
+from conftest import run_once
+
+
+def test_fig4_bounds_landscape(benchmark, scale):
+    table = run_once(benchmark, fig4.run, scale=scale)
+    print()
+    print(table.to_text())
+
+    h = table.headers
+    classes = table.column("classes")
+    assert len(set(classes)) >= 3, "no bottleneck diversity"
+    for row in table.rows:
+        assert row[h.index("P_peak")] > row[h.index("P_MB")]
+        assert row[h.index("P_IMB")] >= row[h.index("P_CSR")] * 0.99

@@ -1,0 +1,23 @@
+"""Benchmark E3 — paper Section III-C threshold grid search (Fig. 5).
+
+Reruns the exhaustive (T_ML, T_IMB) search on a training corpus. Shape
+to reproduce: moderate thresholds (near the paper's 1.25/1.24) dominate
+both over-eager (everything classified) and over-strict (nothing
+classified) settings.
+"""
+
+from repro.experiments import fig5
+
+from conftest import run_once
+
+
+def test_fig5_threshold_gridsearch(benchmark, train_count):
+    table = run_once(benchmark, fig5.run,
+                     corpus_count=min(train_count, 60))
+    print()
+    print(table.to_text())
+
+    best_gain = table.rows[0][table.headers.index("mean gain")]
+    assert best_gain >= 1.0
+    # The best thresholds actually classify a nonzero set of matrices.
+    assert table.rows[0][table.headers.index("classified")] > 0

@@ -1,0 +1,31 @@
+"""Benchmark E7 — regenerate paper Fig. 7a (KNC landscape).
+
+MKL CSR / baseline / feature-guided / profile-guided / oracle across
+the named suite on KNC. Paper headline: prof 2.72x and feat 2.63x
+average speedup over MKL CSR; no Inspector-Executor on KNC.
+"""
+
+from repro.experiments import fig7
+from repro.experiments.common import geometric_mean
+
+from conftest import run_once
+
+
+def test_fig7a_knc_landscape(benchmark, scale, train_count):
+    table = run_once(benchmark, fig7.run, "knc", scale=scale,
+                     train_count=train_count)
+    print()
+    print(table.to_text())
+
+    assert "MKL I-E" not in table.headers  # not available on KNC
+    h = table.headers
+    prof = [r[h.index("prof")] / r[h.index("MKL")] for r in table.rows]
+    feat = [r[h.index("feat")] / r[h.index("MKL")] for r in table.rows]
+    oracle = [r[h.index("oracle")] for r in table.rows]
+    profs = [r[h.index("prof")] for r in table.rows]
+
+    # Shape: clear average win over MKL CSR (paper: 2.72x / 2.63x).
+    assert geometric_mean(prof) > 1.5
+    assert geometric_mean(feat) > 1.2
+    # Oracle dominates the adaptive optimizer matrix by matrix.
+    assert all(o >= p * 0.999 for o, p in zip(oracle, profs))

@@ -1,0 +1,33 @@
+"""Benchmark E8 — regenerate paper Fig. 7b (KNL landscape).
+
+Adds the MKL Inspector-Executor column. Paper headline: prof 6.73x,
+feat 6.48x, I-E 4.89x over MKL CSR; the optimizer's largest wins over
+the I-E occur on imbalanced matrices.
+"""
+
+from repro.experiments import fig7
+from repro.experiments.common import geometric_mean
+
+from conftest import run_once
+
+
+def test_fig7b_knl_landscape(benchmark, scale, train_count):
+    table = run_once(benchmark, fig7.run, "knl", scale=scale,
+                     train_count=train_count)
+    print()
+    print(table.to_text())
+
+    h = table.headers
+    assert "MKL I-E" in h
+    by_name = {r[0]: r for r in table.rows}
+
+    prof = [r[h.index("prof")] / r[h.index("MKL")] for r in table.rows]
+    ie = [r[h.index("MKL I-E")] / r[h.index("MKL")] for r in table.rows]
+
+    # Shape: optimizer beats MKL CSR strongly; also beats I-E on average.
+    assert geometric_mean(prof) > 1.8
+    assert geometric_mean(prof) > geometric_mean(ie)
+    # The skew matrices are the headline I-E wins.
+    for skewed in ("ASIC_680k", "rajat30", "degme"):
+        row = by_name[skewed]
+        assert row[h.index("prof")] > 1.3 * row[h.index("MKL I-E")], skewed

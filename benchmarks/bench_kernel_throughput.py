@@ -1,0 +1,56 @@
+"""Micro-benchmarks of the library's own hot paths.
+
+Not a paper artifact: these timings track the *reproduction's* numeric
+and simulation throughput (NumPy-vectorized SpMV, delta decode, engine
+cost evaluation) so performance regressions in the substrate itself
+are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.formats import DeltaCSR
+from repro.kernels import baseline_kernel, merged_pool_kernel
+from repro.machine import ExecutionEngine, KNL
+from repro.matrices import named_matrix
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return named_matrix("poisson3Db", scale=0.5)
+
+
+@pytest.fixture(scope="module")
+def x(matrix):
+    return np.random.default_rng(0).standard_normal(matrix.ncols)
+
+
+def test_numeric_csr_spmv(benchmark, matrix, x):
+    result = benchmark(matrix.matvec, x)
+    assert result.shape == (matrix.nrows,)
+
+
+def test_numeric_delta_decode(benchmark, matrix):
+    delta = DeltaCSR.from_csr(matrix)
+    colind = benchmark(delta.decode_colind)
+    assert colind.size == matrix.nnz
+
+
+def test_engine_cost_evaluation(benchmark, matrix):
+    engine = ExecutionEngine(KNL)
+    kernel = baseline_kernel()
+    data = kernel.preprocess(matrix)
+    result = benchmark(engine.run, kernel, data)
+    assert result.gflops > 0
+
+
+def test_engine_full_optimized_pipeline(benchmark, matrix):
+    engine = ExecutionEngine(KNL)
+    kernel = merged_pool_kernel(("compression", "prefetching"))
+
+    def pipeline():
+        data = kernel.preprocess(matrix)
+        return engine.run(kernel, data)
+
+    result = benchmark(pipeline)
+    assert result.gflops > 0

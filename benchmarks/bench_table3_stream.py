@@ -1,0 +1,33 @@
+"""Benchmark E5 — paper Table III: platform characteristics + STREAM.
+
+The simulated STREAM triad must recover the paper's main/LLC bandwidth
+pairs undistorted (the engine's bandwidth model calibration check).
+"""
+
+import pytest
+
+from repro.experiments import table3
+
+from conftest import run_once
+
+PAPER = {"knc": (128, 140), "knl": (395, 570), "broadwell": (60, 200)}
+
+
+def test_table3_platforms_and_stream(benchmark):
+    table = run_once(benchmark, table3.run)
+    print()
+    print(table.to_text())
+
+    h = table.headers
+    for row in table.rows:
+        name = row[0]
+        codename = {"3120P": "knc", "7250": "knl", "2699": "broadwell"}[
+            next(k for k in ("3120P", "7250", "2699") if k in name)
+        ]
+        main, llc = PAPER[codename]
+        assert row[h.index("STREAM main (GB/s)")] == pytest.approx(
+            main, rel=0.02
+        )
+        assert row[h.index("STREAM llc (GB/s)")] == pytest.approx(
+            llc, rel=0.05
+        )

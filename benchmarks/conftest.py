@@ -1,0 +1,46 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (see DESIGN.md Section 4)
+and prints it, so ``pytest benchmarks/ --benchmark-only -s`` reproduces
+the paper's tables and figure data in one run.
+
+Environment knobs:
+
+``REPRO_BENCH_SCALE``
+    Size scale of the named matrix suite (default 1.0, the full-size
+    analogues; lower it for a quick pass, at the cost of shifting the
+    cache-residency regimes the classifier reacts to).
+``REPRO_BENCH_TRAIN``
+    Training-corpus size for the feature-guided classifier
+    (default 60; the paper uses 210).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def bench_train_count() -> int:
+    return int(os.environ.get("REPRO_BENCH_TRAIN", "60"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def train_count() -> int:
+    return bench_train_count()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

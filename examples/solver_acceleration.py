@@ -1,0 +1,115 @@
+"""Solver acceleration: when does the optimizer pay off?
+
+The paper's amortization argument (Section IV-D) in action: a
+preconditioned CG solve on an SPD problem, where the SpMV operator is
+either the vendor baseline or the adaptively optimized kernel. The
+script reports the solver's iteration count, the per-iteration SpMV
+time on the simulated platform, and the break-even iteration count
+
+    N_min = t_pre / (t_mkl - t_opt)
+
+for both of the paper's classifiers — showing why the feature-guided
+path matters for preconditioned (few-iteration) solves.
+
+Run with::
+
+    python examples/solver_acceleration.py [platform]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import (
+    AdaptiveSpMV,
+    FeatureGuidedClassifier,
+    cg,
+    get_platform,
+    jacobi_preconditioner,
+    run_mkl_csr,
+    training_suite,
+)
+from repro.formats import COOMatrix, CSRMatrix
+from repro.matrices.generators import random_uniform
+
+
+def _spd_scattered(n: int = 120_000, seed: int = 11) -> CSRMatrix:
+    """Symmetric, diagonally dominant, *scattered* SPD system.
+
+    An unstructured-mesh-like problem: off-diagonal couplings land on
+    random columns, so SpMV is latency-bound on the Phis — the regime
+    where the optimizer actually buys solver time.
+    """
+    B = random_uniform(n, nnz_per_row=8.0, seed=seed)
+    coo = B.to_coo()
+    rows = np.concatenate([coo.rows, coo.cols, np.arange(n)])
+    cols = np.concatenate([coo.cols, coo.rows, np.arange(n)])
+    dom = np.full(n, 1.0)
+    np.add.at(dom, coo.rows, np.abs(coo.values))
+    np.add.at(dom, coo.cols, np.abs(coo.values))
+    vals = np.concatenate([-coo.values, -coo.values, dom])
+    return CSRMatrix.from_coo(COOMatrix(rows, cols, vals, (n, n)))
+
+
+def main() -> None:
+    platform = get_platform(sys.argv[1] if len(sys.argv) > 1 else "knl")
+    print(f"=== CG on a scattered SPD problem, platform {platform.codename} ===\n")
+
+    # The linear system: symmetric diagonally-dominant scattered matrix.
+    A = _spd_scattered()
+    rng = np.random.default_rng(7)
+    x_true = rng.standard_normal(A.nrows)
+    b = A.matvec(x_true)
+    print(f"system: n = {A.nrows}, nnz = {A.nnz}")
+
+    # Offline stage: train the feature-guided classifier once.
+    print("training feature-guided classifier (offline stage)...")
+    corpus = [t.matrix for t in training_suite(count=30, seed=1)]
+    feat_clf = FeatureGuidedClassifier(platform).fit_from_matrices(corpus)
+
+    # Optimize the operator with both classifiers.
+    results = {}
+    for label, optimizer in (
+        ("profile-guided", AdaptiveSpMV(platform, classifier="profile")),
+        ("feature-guided", AdaptiveSpMV(platform, classifier=feat_clf)),
+    ):
+        operator = optimizer.optimize(A)
+        results[label] = operator
+        print(f"\n{label}: {operator.plan}")
+
+    # Solve (numerics identical whichever operator we use).
+    operator = results["feature-guided"]
+    solve = cg(operator, b, tol=1e-8,
+               preconditioner=jacobi_preconditioner(A))
+    print(
+        f"\nCG converged: {solve.converged} in {solve.iterations} "
+        f"iterations (residual {solve.residual_norm:.2e})"
+    )
+    err = np.max(np.abs(solve.x - x_true))
+    print(f"solution max error: {err:.2e}")
+
+    # Amortization analysis on the simulated platform.
+    t_mkl = run_mkl_csr(A, platform).seconds
+    print(f"\nper-SpMV time, MKL CSR analogue: {1e6 * t_mkl:9.1f} us")
+    for label, operator in results.items():
+        t_opt = operator.simulate().seconds
+        t_pre = operator.plan.total_overhead_seconds
+        gain = t_mkl - t_opt
+        n_min = t_pre / gain if gain > 0 else float("inf")
+        verdict = (
+            f"pays off after {n_min:,.0f} iterations"
+            if np.isfinite(n_min)
+            else "never pays off on this matrix"
+        )
+        print(
+            f"  {label:15s} t_opt {1e6 * t_opt:9.1f} us  "
+            f"t_pre {1e3 * t_pre:8.2f} ms  -> {verdict}"
+        )
+    print(
+        f"\nthis solve used {solve.iterations} SpMVs "
+        "- compare with the break-even counts above."
+    )
+
+
+if __name__ == "__main__":
+    main()

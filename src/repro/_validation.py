@@ -1,0 +1,79 @@
+"""Shared argument-validation helpers.
+
+These helpers raise early, with messages that name the offending
+argument, so that user errors surface at API boundaries instead of deep
+inside vectorized NumPy code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_nonnegative",
+    "check_fraction",
+    "check_in",
+    "ensure_1d",
+    "ensure_dtype",
+    "check_shape_2d",
+]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Validate that ``value`` is strictly positive and return it."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Validate that ``value`` is >= 0 and return it."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in(name: str, value: Any, allowed: Iterable[Any]) -> Any:
+    """Validate that ``value`` is one of ``allowed`` and return it."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed!r}, got {value!r}")
+    return value
+
+
+def ensure_1d(name: str, array: Any, dtype: Any = None) -> np.ndarray:
+    """Coerce ``array`` to a contiguous 1-D ndarray, validating shape."""
+    out = np.ascontiguousarray(array, dtype=dtype)
+    if out.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {out.shape}")
+    return out
+
+
+def ensure_dtype(name: str, array: np.ndarray, dtypes: Sequence[Any]) -> np.ndarray:
+    """Validate that ``array.dtype`` is one of ``dtypes``."""
+    if array.dtype not in [np.dtype(d) for d in dtypes]:
+        raise TypeError(
+            f"{name} must have dtype in {[np.dtype(d).name for d in dtypes]}, "
+            f"got {array.dtype.name}"
+        )
+    return array
+
+
+def check_shape_2d(name: str, shape: Sequence[int]) -> tuple[int, int]:
+    """Validate a 2-tuple of positive dimensions and return it."""
+    shape = tuple(int(s) for s in shape)
+    if len(shape) != 2:
+        raise ValueError(f"{name} must be a 2-tuple, got {shape!r}")
+    if shape[0] <= 0 or shape[1] <= 0:
+        raise ValueError(f"{name} dimensions must be positive, got {shape!r}")
+    return shape

@@ -1,0 +1,14 @@
+"""Vendor-library analogues and straw-man optimizers (system S8)."""
+
+from .inspector_executor import InspectorExecutor, InspectorExecutorResult
+from .mkl_csr import mkl_csr_kernel, run_mkl_csr
+from .trivial import TrivialOptimizer, TrivialResult
+
+__all__ = [
+    "mkl_csr_kernel",
+    "run_mkl_csr",
+    "InspectorExecutor",
+    "InspectorExecutorResult",
+    "TrivialOptimizer",
+    "TrivialResult",
+]

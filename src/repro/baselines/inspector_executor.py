@@ -1,0 +1,99 @@
+"""Inspector-Executor CSR analogue (MKL ``mkl_sparse_d_mv`` with
+``mkl_sparse_optimize``).
+
+The real Inspector-Executor analyzes the matrix once ("inspection") and
+autotunes an internal execution strategy, at a nontrivial setup cost.
+We model it faithfully to the properties the paper measures:
+
+* it adapts the *schedule* and applies internal vectorization/index
+  optimization — so it beats plain MKL CSR substantially on many
+  matrices (4.89x average on KNL in the paper);
+* its optimization space does **not** include software prefetching or
+  long-row decomposition — so the paper's optimizer keeps an edge on
+  latency-bound and extremely skewed matrices;
+* its inspection + trial-run cost is charged, landing it between the
+  feature-guided and trivial optimizers in the amortization table.
+
+Availability mirrors the paper: the Inspector-Executor API does not
+exist on KNC ("MKL Inspector-Executor is not available on KNC").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..formats import CSRMatrix
+from ..kernels import ConfiguredSpMV, SpMVConfig, pass_seconds
+from ..machine import ExecutionEngine, MachineSpec, RunResult
+
+__all__ = ["InspectorExecutor", "InspectorExecutorResult"]
+
+#: Candidate internal strategies the inspector tries.
+_CANDIDATES: tuple[SpMVConfig, ...] = (
+    SpMVConfig(vectorize=True),                       # balanced-nnz + SIMD
+    SpMVConfig(vectorize=True, schedule="auto"),      # chunked schedule
+    SpMVConfig(vectorize=True, schedule="dynamic"),   # load balancing
+    SpMVConfig(vectorize=True, compress=True),        # index compression
+    SpMVConfig(vectorize=True, unroll=True),          # unrolled SIMD
+)
+
+#: Trial executions per candidate during inspection.
+_TRIAL_RUNS = 8
+
+
+@dataclass(frozen=True)
+class InspectorExecutorResult:
+    """Outcome of inspect+optimize for one matrix."""
+
+    result: RunResult                 # executor performance
+    chosen: SpMVConfig
+    inspection_seconds: float         # full setup cost (t_pre)
+
+    @property
+    def gflops(self) -> float:
+        return self.result.gflops
+
+
+class InspectorExecutor:
+    """MKL Inspector-Executor analogue for one target machine."""
+
+    def __init__(self, machine: MachineSpec, nthreads: int | None = None):
+        if machine.codename == "knc":
+            raise ValueError(
+                "the Inspector-Executor API is not available on KNC "
+                "(as in the paper)"
+            )
+        self.machine = machine
+        self.engine = ExecutionEngine(machine, nthreads)
+
+    def optimize(self, csr: CSRMatrix) -> InspectorExecutorResult:
+        """Inspect ``csr``, trial-run candidates, return the best."""
+        if csr.nnz == 0:
+            raise ValueError("cannot optimize an empty matrix")
+        # Inspection: two analysis passes over the matrix arrays.
+        t_pre = pass_seconds(2.0 * csr.total_nbytes(), self.machine)
+
+        best: RunResult | None = None
+        best_cfg: SpMVConfig | None = None
+        for cfg in _CANDIDATES:
+            kernel = ConfiguredSpMV(cfg)
+            result = self.engine.run(kernel, kernel.preprocess(csr))
+            t_pre += _TRIAL_RUNS * result.seconds
+            t_pre += kernel.preprocessing_seconds(csr, self.machine)
+            if best is None or result.gflops > best.gflops:
+                best, best_cfg = result, cfg
+
+        final = RunResult(
+            kernel_name="mkl-inspector-executor",
+            machine_codename=best.machine_codename,
+            nthreads=best.nthreads,
+            seconds=best.seconds,
+            thread_seconds=best.thread_seconds,
+            flops=best.flops,
+            total_bytes=best.total_bytes,
+            schedule_kind=best.schedule_kind,
+            breakdown=best.breakdown,
+        )
+        return InspectorExecutorResult(
+            result=final, chosen=best_cfg, inspection_seconds=t_pre
+        )

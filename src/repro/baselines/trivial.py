@@ -1,0 +1,77 @@
+"""Trivial (exhaustive) optimizers — paper Table V's straw men.
+
+``trivial-single`` benchmarks each of the 5 single pool optimizations
+on the input matrix and keeps the best; ``trivial-combined`` also
+sweeps all 10 pairs (15 configurations total). Both are maximally
+accurate and maximally expensive: every candidate pays its full
+preprocessing *and* a 64-iteration timing run, which is exactly why the
+paper builds classifiers instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..formats import CSRMatrix
+from ..kernels import (
+    pairwise_optimization_kernels,
+    single_optimization_kernels,
+)
+from ..machine import ExecutionEngine, MachineSpec, RunResult
+
+__all__ = ["TrivialResult", "TrivialOptimizer"]
+
+#: Timing iterations per candidate (paper Section IV-D).
+_BENCH_ITERATIONS = 64
+
+
+@dataclass(frozen=True)
+class TrivialResult:
+    """Outcome of the exhaustive sweep for one matrix."""
+
+    result: RunResult
+    chosen: str
+    sweep_seconds: float          # full setup cost (t_pre)
+    n_candidates: int
+
+    @property
+    def gflops(self) -> float:
+        return self.result.gflops
+
+
+class TrivialOptimizer:
+    """Sweep-everything optimizer (``mode`` = "single" or "combined")."""
+
+    def __init__(self, machine: MachineSpec, mode: str = "single",
+                 nthreads: int | None = None):
+        if mode not in ("single", "combined"):
+            raise ValueError(f"mode must be 'single' or 'combined', got {mode!r}")
+        self.machine = machine
+        self.mode = mode
+        self.engine = ExecutionEngine(machine, nthreads)
+
+    def candidates(self):
+        if self.mode == "single":
+            return single_optimization_kernels()
+        return pairwise_optimization_kernels()
+
+    def optimize(self, csr: CSRMatrix) -> TrivialResult:
+        """Benchmark every candidate; keep the best; charge everything."""
+        if csr.nnz == 0:
+            raise ValueError("cannot optimize an empty matrix")
+        t_pre = 0.0
+        best: RunResult | None = None
+        best_name = ""
+        kernels = self.candidates()
+        for name, kernel in kernels.items():
+            t_pre += kernel.preprocessing_seconds(csr, self.machine)
+            result = self.engine.run(kernel, kernel.preprocess(csr))
+            t_pre += _BENCH_ITERATIONS * result.seconds
+            if best is None or result.gflops > best.gflops:
+                best, best_name = result, name
+        return TrivialResult(
+            result=best,
+            chosen=best_name,
+            sweep_seconds=t_pre,
+            n_candidates=len(kernels),
+        )

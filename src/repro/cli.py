@@ -1,0 +1,221 @@
+"""Command-line interface.
+
+::
+
+    repro-spmv suite                      # list the named matrix suite
+    repro-spmv analyze NAME --platform knl
+    repro-spmv analyze path/to/matrix.mtx --platform knc
+    repro-spmv experiment fig7-knl --scale 0.5
+    repro-spmv experiments                # list experiment ids
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import AdaptiveSpMV, classify_from_bounds, format_classes, measure_bounds
+from .machine import PLATFORMS, get_platform
+from .matrices import (
+    NAMED_SUITE,
+    matrix_stats,
+    named_matrix,
+    read_matrix_market,
+    suite_names,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-spmv",
+        description="Adaptive bottleneck-classifying SpMV optimizer "
+        "(IPDPS'17 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_suite = sub.add_parser("suite", help="list the named matrix suite")
+    p_suite.add_argument("--scale", type=float, default=0.2,
+                         help="size scale for the stats column")
+
+    p_an = sub.add_parser("analyze", help="classify and optimize a matrix")
+    p_an.add_argument("matrix",
+                      help="suite matrix name or MatrixMarket file path")
+    p_an.add_argument("--platform", default="knl",
+                      choices=sorted(PLATFORMS))
+    p_an.add_argument("--scale", type=float, default=1.0)
+
+    p_tr = sub.add_parser(
+        "train", help="train and save a feature-guided classifier"
+    )
+    p_tr.add_argument("output", help="path for the classifier JSON")
+    p_tr.add_argument("--platform", default="knl",
+                      choices=sorted(PLATFORMS))
+    p_tr.add_argument("--count", type=int, default=210,
+                      help="training corpus size")
+    p_tr.add_argument("--seed", type=int, default=2017)
+
+    p_ex = sub.add_parser(
+        "export-suite",
+        help="write the named suite as MatrixMarket files",
+    )
+    p_ex.add_argument("directory")
+    p_ex.add_argument("--scale", type=float, default=1.0)
+
+    sub.add_parser("experiments", help="list experiment ids")
+
+    p_exp = sub.add_parser("experiment", help="run one experiment driver")
+    p_exp.add_argument("experiment_id")
+    p_exp.add_argument("--scale", type=float, default=1.0)
+    p_exp.add_argument("--train-count", type=int, default=210)
+
+    return parser
+
+
+def _load_matrix(ref: str, scale: float):
+    if ref in suite_names():
+        return named_matrix(ref, scale=scale)
+    return read_matrix_market(ref)
+
+
+def _cmd_suite(args) -> int:
+    print(f"{'name':18s} {'domain':22s} rows       nnz        description")
+    for spec in NAMED_SUITE:
+        csr = spec(args.scale)
+        desc = spec.description.split(".")[0]
+        print(f"{spec.name:18s} {spec.domain:22s} "
+              f"{csr.nrows:<10d} {csr.nnz:<10d} {desc}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    machine = get_platform(args.platform)
+    csr = _load_matrix(args.matrix, args.scale)
+    print(matrix_stats(csr).describe())
+    print()
+    bounds = measure_bounds(csr, machine)
+    print(f"bounds on {machine.codename} (Gflop/s):")
+    for k, v in bounds.as_dict().items():
+        print(f"  {k:7s} {v:10.2f}")
+    classes = classify_from_bounds(bounds)
+    print(f"classes: {format_classes(classes)}")
+    optimizer = AdaptiveSpMV(machine, classifier="profile")
+    op = optimizer.optimize(csr)
+    r = op.simulate()
+    print(f"plan:    {op.plan}")
+    print(
+        f"optimized: {r.gflops:.2f} Gflop/s "
+        f"({r.gflops / bounds.p_csr:.2f}x over baseline CSR)"
+    )
+    return 0
+
+
+def _experiment_registry() -> dict:
+    from . import experiments as exp
+
+    return {
+        "fig1": lambda a: exp.fig1.run(scale=a.scale),
+        "fig4": lambda a: exp.fig4.run(scale=a.scale),
+        "fig5": lambda a: exp.fig5.run(),
+        "fig7-knc": lambda a: exp.fig7.run("knc", scale=a.scale,
+                                           train_count=a.train_count),
+        "fig7-knl": lambda a: exp.fig7.run("knl", scale=a.scale,
+                                           train_count=a.train_count),
+        "fig7-broadwell": lambda a: exp.fig7.run("broadwell", scale=a.scale,
+                                                 train_count=a.train_count),
+        "table2": lambda a: exp.table2.run(),
+        "table2-scaling": lambda a: exp.table2.extraction_scaling(),
+        "table3": lambda a: exp.table3.run(),
+        "table4": lambda a: exp.table4.run(train_count=a.train_count),
+        "table5": lambda a: exp.table5.run(scale=a.scale,
+                                           train_count=a.train_count),
+        "ablation-imb": lambda a: exp.ablations.imb_strategy(scale=a.scale),
+        "ablation-delta": lambda a: exp.ablations.delta_width(scale=a.scale),
+        "ablation-sched": lambda a: exp.ablations.scheduling_policies(
+            scale=a.scale),
+        "ablation-tree": lambda a: exp.ablations.tree_ablation(),
+        "ablation-partitioned-ml": lambda a: exp.ablations.partitioned_ml(
+            scale=a.scale),
+        "ablation-bcsr": lambda a: exp.ablations.bcsr_vs_delta(
+            scale=a.scale),
+        "ablation-formats": lambda a: exp.ablations.format_landscape(
+            scale=a.scale),
+        "ablation-sensitivity": lambda a:
+            exp.ablations.architecture_sensitivity(scale=a.scale),
+    }
+
+
+def _cmd_train(args) -> int:
+    from .core import FeatureGuidedClassifier
+    from .matrices import training_suite
+
+    machine = get_platform(args.platform)
+    print(
+        f"building {args.count}-matrix corpus and labeling on "
+        f"{machine.codename} (profile-guided)..."
+    )
+    corpus = [
+        t.matrix for t in training_suite(count=args.count, seed=args.seed)
+    ]
+    clf = FeatureGuidedClassifier(machine).fit_from_matrices(corpus)
+    clf.save(args.output)
+    rep = clf.report
+    print(f"labels: {rep.label_counts}")
+    print(f"tree: depth {rep.tree_depth}, {rep.tree_leaves} leaves")
+    print(f"saved to {args.output}")
+    return 0
+
+
+def _cmd_export_suite(args) -> int:
+    import os
+
+    from .matrices import load_suite, write_matrix_market
+
+    os.makedirs(args.directory, exist_ok=True)
+    for spec, csr in load_suite(scale=args.scale):
+        path = os.path.join(args.directory, f"{spec.name}.mtx")
+        write_matrix_market(
+            csr, path,
+            comment=f"synthetic analogue of {spec.name} ({spec.domain}); "
+            f"scale={args.scale}",
+        )
+        print(f"{path}: {csr.nrows}x{csr.ncols} nnz={csr.nnz}")
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    for key in _experiment_registry():
+        print(key)
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    registry = _experiment_registry()
+    if args.experiment_id not in registry:
+        print(
+            f"unknown experiment {args.experiment_id!r}; "
+            f"available: {', '.join(registry)}",
+            file=sys.stderr,
+        )
+        return 2
+    table = registry[args.experiment_id](args)
+    print(table.to_text())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "suite": _cmd_suite,
+        "analyze": _cmd_analyze,
+        "train": _cmd_train,
+        "export-suite": _cmd_export_suite,
+        "experiments": _cmd_experiments,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,145 @@
+"""Amortization analysis — paper Section IV-D and Table V.
+
+In an iterative solver, an optimized SpMV pays off only after its setup
+overhead is recovered:
+
+    N_iters,min = t_pre / (t_MKL - t_optimizer)
+
+where ``t_MKL`` is one MKL-CSR SpMV, ``t_optimizer`` one optimized SpMV
+and ``t_pre`` the full optimizer overhead (classification + conversion
++ codegen, or the whole sweep for the trivial optimizers). Table V
+reports the best/average/worst ``N_iters,min`` per optimizer over the
+matrix suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..baselines import InspectorExecutor, TrivialOptimizer, mkl_csr_kernel
+from ..formats import CSRMatrix
+from ..machine import ExecutionEngine, MachineSpec
+from .feature_classifier import FeatureGuidedClassifier
+from .optimizer import AdaptiveSpMV
+
+__all__ = ["AmortizationCase", "AmortizationSummary", "amortization_study"]
+
+
+@dataclass(frozen=True)
+class AmortizationCase:
+    """One (optimizer, matrix) amortization data point."""
+
+    optimizer: str
+    matrix: str
+    t_pre: float
+    t_mkl: float
+    t_opt: float
+
+    @property
+    def n_iters_min(self) -> float:
+        """Iterations to amortize; inf when the optimizer never wins."""
+        gain = self.t_mkl - self.t_opt
+        if gain <= 0:
+            return math.inf
+        return self.t_pre / gain
+
+
+@dataclass(frozen=True)
+class AmortizationSummary:
+    """Table V row: best/average/worst over the beneficial matrices."""
+
+    optimizer: str
+    n_best: float
+    n_avg: float
+    n_worst: float
+    n_beneficial: int
+    n_total: int
+
+    @classmethod
+    def from_cases(cls, optimizer: str,
+                   cases: Sequence[AmortizationCase]) -> "AmortizationSummary":
+        finite = [c.n_iters_min for c in cases if math.isfinite(c.n_iters_min)]
+        if not finite:
+            return cls(optimizer, math.inf, math.inf, math.inf, 0, len(cases))
+        return cls(
+            optimizer=optimizer,
+            n_best=float(np.min(finite)),
+            n_avg=float(np.mean(finite)),
+            n_worst=float(np.max(finite)),
+            n_beneficial=len(finite),
+            n_total=len(cases),
+        )
+
+
+def amortization_study(
+    matrices: Sequence[tuple[str, CSRMatrix]],
+    machine: MachineSpec,
+    feature_classifier: FeatureGuidedClassifier | None = None,
+    nthreads: int | None = None,
+    include_inspector_executor: bool | None = None,
+) -> dict[str, AmortizationSummary]:
+    """Reproduce Table V for ``matrices`` on ``machine``.
+
+    ``matrices`` is a sequence of ``(name, csr)``. A trained
+    ``feature_classifier`` enables the feature-guided row. The
+    Inspector-Executor row is skipped on KNC (not available there),
+    matching the paper.
+    """
+    matrices = list(matrices)
+    if not matrices:
+        raise ValueError("matrix suite is empty")
+    engine = ExecutionEngine(machine, nthreads)
+    mkl = mkl_csr_kernel()
+    if include_inspector_executor is None:
+        include_inspector_executor = machine.codename != "knc"
+
+    cases: dict[str, list[AmortizationCase]] = {}
+
+    def record(opt_name: str, mat_name: str, t_pre: float,
+               t_mkl: float, t_opt: float) -> None:
+        cases.setdefault(opt_name, []).append(
+            AmortizationCase(opt_name, mat_name, t_pre, t_mkl, t_opt)
+        )
+
+    prof = AdaptiveSpMV(machine, classifier="profile", nthreads=nthreads)
+    feat = (
+        AdaptiveSpMV(machine, classifier=feature_classifier,
+                     nthreads=nthreads)
+        if feature_classifier is not None
+        else None
+    )
+
+    for name, csr in matrices:
+        t_mkl = engine.run(mkl, mkl.preprocess(csr)).seconds
+
+        for mode in ("single", "combined"):
+            trivial = TrivialOptimizer(machine, mode=mode, nthreads=nthreads)
+            res = trivial.optimize(csr)
+            record(f"trivial-{mode}", name, res.sweep_seconds,
+                   t_mkl, res.result.seconds)
+
+        for label, optimizer in (
+            ("profile-guided", prof),
+            ("feature-guided", feat),
+        ):
+            if optimizer is None:
+                continue
+            operator = optimizer.optimize(csr)
+            t_opt = operator.simulate(nthreads).seconds
+            record(label, name, operator.plan.total_overhead_seconds,
+                   t_mkl, t_opt)
+
+        if include_inspector_executor:
+            ie = InspectorExecutor(machine, nthreads)
+            res = ie.optimize(csr)
+            record("mkl-inspector-executor", name, res.inspection_seconds,
+                   t_mkl, res.result.seconds)
+
+    return {
+        opt: AmortizationSummary.from_cases(opt, cs)
+        for opt, cs in cases.items()
+    }

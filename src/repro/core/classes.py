@@ -1,0 +1,85 @@
+"""Bottleneck classes (paper Section III-A).
+
+The optimizer formulates optimization selection as multiclass,
+multilabel classification where classes are *performance bottlenecks*,
+not optimizations — the property that makes the framework plug-and-play
+(optimizations can be swapped per class without retraining).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet, Iterable
+
+import numpy as np
+
+__all__ = [
+    "Bottleneck",
+    "ClassSet",
+    "ALL_CLASSES",
+    "EMPTY_CLASSES",
+    "classes_to_labels",
+    "labels_to_classes",
+    "format_classes",
+]
+
+
+class Bottleneck(enum.Enum):
+    """One SpMV performance bottleneck."""
+
+    #: Memory Bandwidth bound: bandwidth utilization near peak, usually
+    #: a regular sparsity structure.
+    MB = "MB"
+    #: Memory Latency bound: poor x locality that hardware prefetchers
+    #: cannot cover.
+    ML = "ML"
+    #: Thread IMBalanced: uneven row lengths or regionally different
+    #: sparsity patterns.
+    IMB = "IMB"
+    #: CoMPute bound: cache-resident working sets near the roofline
+    #: ridge, or nonzeros concentrated in a few dense rows, or dominant
+    #: short-row loop overhead.
+    CMP = "CMP"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+ClassSet = FrozenSet[Bottleneck]
+
+ALL_CLASSES: tuple[Bottleneck, ...] = (
+    Bottleneck.MB,
+    Bottleneck.ML,
+    Bottleneck.IMB,
+    Bottleneck.CMP,
+)
+
+#: The "dummy" outcome: not worth applying any pool optimization.
+EMPTY_CLASSES: ClassSet = frozenset()
+
+
+def classes_to_labels(classes: Iterable[Bottleneck]) -> np.ndarray:
+    """Binary label vector in :data:`ALL_CLASSES` order."""
+    cs = frozenset(classes)
+    unknown = cs - set(ALL_CLASSES)
+    if unknown:
+        raise ValueError(f"unknown classes: {unknown}")
+    return np.array(
+        [1 if c in cs else 0 for c in ALL_CLASSES], dtype=np.int64
+    )
+
+
+def labels_to_classes(labels) -> ClassSet:
+    """Inverse of :func:`classes_to_labels`."""
+    labels = np.asarray(labels)
+    if labels.shape != (len(ALL_CLASSES),):
+        raise ValueError(
+            f"labels must have shape ({len(ALL_CLASSES)},), got {labels.shape}"
+        )
+    return frozenset(c for c, v in zip(ALL_CLASSES, labels) if v)
+
+
+def format_classes(classes: ClassSet) -> str:
+    """Stable human-readable rendering, e.g. ``{ML, IMB}`` or ``{}``."""
+    names = [c.value for c in ALL_CLASSES if c in classes]
+    return "{" + ", ".join(names) + "}"

@@ -1,0 +1,196 @@
+"""Feature-guided classifier (paper Section III-D).
+
+A multilabel CART decision tree trained *offline*: the training corpus
+is labeled by the profile-guided classifier on the target machine (the
+paper's labeling choice, Section III-D-3), then the tree learns to
+predict the class set from cheap structural features alone. At runtime
+only feature extraction (O(N) or O(NNZ)) and an O(log n) tree query are
+needed — the lightest optimizer in Table V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..formats import CSRMatrix
+from ..kernels import feature_extraction_seconds
+from ..machine import MachineSpec
+from ..matrices.features import (
+    FEATURE_COMPLEXITY,
+    PAPER_ONNZ_SUBSET,
+    canonical_feature_name,
+    extract_features,
+)
+from ..ml import DecisionTree
+from .classes import ClassSet, classes_to_labels, labels_to_classes
+from .profile_classifier import ProfileGuidedClassifier
+
+__all__ = ["FeatureGuidedClassifier", "TrainingReport"]
+
+
+@dataclass(frozen=True)
+class TrainingReport:
+    """Provenance of one trained feature-guided classifier."""
+
+    n_samples: int
+    feature_names: tuple[str, ...]
+    label_counts: dict[str, int]
+    tree_depth: int
+    tree_leaves: int
+
+
+@dataclass
+class FeatureGuidedClassifier:
+    """Decision-tree classifier over structural matrix features.
+
+    Parameters
+    ----------
+    machine
+        Target platform; used for the ``size`` feature's LLC capacity
+        and for labeling during :meth:`fit_from_matrices`.
+    feature_names
+        Feature subset to use (default: the paper's best O(NNZ) subset
+        from Table IV).
+    max_depth, min_samples_leaf
+        CART regularization.
+    """
+
+    machine: MachineSpec
+    feature_names: Sequence[str] = PAPER_ONNZ_SUBSET
+    max_depth: int | None = 12
+    min_samples_leaf: int = 2
+    tree: DecisionTree | None = field(default=None, repr=False)
+    report: TrainingReport | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.feature_names = tuple(
+            canonical_feature_name(n) for n in self.feature_names
+        )
+
+    # -- feature extraction -------------------------------------------------
+
+    def features_of(self, csr: CSRMatrix) -> np.ndarray:
+        fv = extract_features(
+            csr,
+            llc_bytes=self.machine.llc_bytes,
+            line_elems=self.machine.line_elems,
+        )
+        return fv.as_array(self.feature_names)
+
+    @property
+    def extraction_complexity(self) -> str:
+        """Worst extraction complexity across the selected features."""
+        order = {"O(1)": 0, "O(N)": 1, "O(NNZ)": 2}
+        worst = max(self.feature_names, key=lambda n: order[FEATURE_COMPLEXITY[n]])
+        return FEATURE_COMPLEXITY[worst]
+
+    # -- training ---------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, Y: np.ndarray) -> "FeatureGuidedClassifier":
+        """Fit from a precomputed feature matrix and label matrix."""
+        self.tree = DecisionTree(
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+        ).fit(X, Y)
+        return self
+
+    def fit_from_matrices(
+        self,
+        matrices: Sequence[CSRMatrix],
+        labeler: ProfileGuidedClassifier | None = None,
+        labels: Sequence[ClassSet] | None = None,
+    ) -> "FeatureGuidedClassifier":
+        """Label a corpus (profile-guided, unless given) and train.
+
+        This is the paper's offline stage: 210 matrices, labels from the
+        profile-guided classifier on the target machine.
+        """
+        matrices = list(matrices)
+        if not matrices:
+            raise ValueError("training corpus is empty")
+        if labels is None:
+            labeler = labeler or ProfileGuidedClassifier(self.machine)
+            labels = [labeler.classify(m) for m in matrices]
+        labels = list(labels)
+        if len(labels) != len(matrices):
+            raise ValueError("labels must match matrices")
+        X = np.array([self.features_of(m) for m in matrices])
+        Y = np.array([classes_to_labels(c) for c in labels])
+        self.fit(X, Y)
+        counts = {
+            name: int(Y[:, i].sum())
+            for i, name in enumerate(("MB", "ML", "IMB", "CMP"))
+        }
+        counts["dummy"] = int(np.sum(~Y.any(axis=1)))
+        self.report = TrainingReport(
+            n_samples=len(matrices),
+            feature_names=tuple(self.feature_names),
+            label_counts=counts,
+            tree_depth=self.tree.depth,
+            tree_leaves=self.tree.n_leaves,
+        )
+        return self
+
+    # -- persistence ---------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist the trained classifier as JSON (the offline stage's
+        artifact, shippable to runtimes that never profile)."""
+        import json
+
+        if self.tree is None:
+            raise RuntimeError("classifier is not trained")
+        payload = {
+            "machine": self.machine.codename,
+            "feature_names": list(self.feature_names),
+            "max_depth": self.max_depth,
+            "min_samples_leaf": self.min_samples_leaf,
+            "tree": self.tree.to_dict(),
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+
+    @classmethod
+    def load(cls, path) -> "FeatureGuidedClassifier":
+        """Rebuild a classifier saved by :meth:`save`."""
+        import json
+
+        from ..machine import get_platform
+        from ..ml import DecisionTree
+
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        clf = cls(
+            machine=get_platform(payload["machine"]),
+            feature_names=tuple(payload["feature_names"]),
+            max_depth=payload["max_depth"],
+            min_samples_leaf=payload["min_samples_leaf"],
+        )
+        clf.tree = DecisionTree.from_dict(payload["tree"])
+        return clf
+
+    # -- inference ---------------------------------------------------------------
+
+    def classify(self, csr: CSRMatrix) -> ClassSet:
+        """Predicted bottleneck classes of ``csr``."""
+        if self.tree is None:
+            raise RuntimeError(
+                "classifier is not trained; call fit_from_matrices first"
+            )
+        labels = self.tree.predict(self.features_of(csr)[None, :])[0]
+        return labels_to_classes(labels)
+
+    def classify_with_cost(self, csr: CSRMatrix) -> tuple[ClassSet, float]:
+        """Classes plus the simulated online decision cost (seconds).
+
+        Only feature extraction costs anything; the tree query is
+        O(log n_samples) and negligible.
+        """
+        classes = self.classify(csr)
+        seconds = feature_extraction_seconds(
+            csr, self.machine, self.extraction_complexity
+        )
+        return classes, seconds

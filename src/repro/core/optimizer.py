@@ -1,0 +1,160 @@
+"""The adaptive SpMV optimizer — the paper's end-to-end system.
+
+``AdaptiveSpMV`` ties the pieces together:
+
+1. classify the input matrix's bottlenecks (profile- or feature-guided);
+2. map the detected classes to pool optimizations (Table I), jointly;
+3. preprocess (format conversion + JIT codegen) and hand back an
+   :class:`OptimizedSpMV` that is both numerically executable
+   (``matvec``) and performance-simulatable (``simulate``), with its
+   full setup-cost accounting attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..formats import CSRMatrix
+from ..kernels import ConfiguredSpMV, baseline_kernel
+from ..machine import ExecutionEngine, MachineSpec, RunResult
+from ..matrices.features import extract_features
+from ..sched import Partition
+from .classes import ClassSet, format_classes
+from .feature_classifier import FeatureGuidedClassifier
+from .pool import DEFAULT_POOL, OptimizationPool
+from .profile_classifier import ProfileGuidedClassifier
+
+__all__ = ["OptimizationPlan", "OptimizedSpMV", "AdaptiveSpMV"]
+
+
+@dataclass(frozen=True)
+class OptimizationPlan:
+    """What the optimizer decided for one matrix, and what it cost."""
+
+    classes: ClassSet
+    optimizations: tuple[str, ...]
+    kernel_name: str
+    decision_seconds: float      # classification (profiling / features)
+    setup_seconds: float         # conversion + JIT codegen
+    classifier_kind: str
+
+    @property
+    def total_overhead_seconds(self) -> float:
+        """Full optimizer overhead, the ``t_pre`` of paper Table V."""
+        return self.decision_seconds + self.setup_seconds
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        opts = "+".join(self.optimizations) if self.optimizations else "none"
+        return (
+            f"classes={format_classes(self.classes)} opts={opts} "
+            f"overhead={1e3 * self.total_overhead_seconds:.2f}ms"
+        )
+
+
+@dataclass
+class OptimizedSpMV:
+    """A ready-to-run optimized SpMV operator."""
+
+    csr: CSRMatrix
+    kernel: ConfiguredSpMV
+    data: object
+    machine: MachineSpec
+    plan: OptimizationPlan
+    partition: Partition | None = field(default=None, repr=False)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.csr.shape
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Numerically compute ``A @ x`` through the optimized kernel."""
+        return self.kernel.apply(self.data, x)
+
+    __matmul__ = matvec
+
+    def simulate(self, nthreads: int | None = None) -> RunResult:
+        """Simulated execution on the target machine."""
+        engine = ExecutionEngine(self.machine, nthreads)
+        return engine.run(self.kernel, self.data, self.partition)
+
+
+class AdaptiveSpMV:
+    """Matrix- and architecture-adaptive SpMV optimizer.
+
+    Parameters
+    ----------
+    machine
+        Target platform specification.
+    classifier
+        ``"profile"`` for the online profile-guided classifier, or a
+        trained :class:`FeatureGuidedClassifier`/custom object with
+        ``classify_with_cost(csr) -> (classes, seconds)``.
+    pool
+        Optimization pool (class -> optimization mapping).
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        classifier="profile",
+        pool: OptimizationPool | None = None,
+        nthreads: int | None = None,
+    ):
+        self.machine = machine
+        self.pool = pool or DEFAULT_POOL
+        self.nthreads = nthreads
+        if classifier == "profile":
+            self._classifier = ProfileGuidedClassifier(
+                machine, nthreads=nthreads
+            )
+            self.classifier_kind = "profile-guided"
+        elif isinstance(classifier, FeatureGuidedClassifier):
+            self._classifier = classifier
+            self.classifier_kind = "feature-guided"
+        elif hasattr(classifier, "classify_with_cost"):
+            self._classifier = classifier
+            self.classifier_kind = type(classifier).__name__
+        else:
+            raise TypeError(
+                "classifier must be 'profile', a FeatureGuidedClassifier, "
+                "or provide classify_with_cost()"
+            )
+
+    def plan(self, csr: CSRMatrix) -> OptimizationPlan:
+        """Classify and select optimizations without building the kernel."""
+        classes, decision_seconds = self._classifier.classify_with_cost(csr)
+        features = extract_features(
+            csr,
+            llc_bytes=self.machine.llc_bytes,
+            line_elems=self.machine.line_elems,
+        )
+        optimizations = self.pool.select(classes, features)
+        kernel = self.pool.kernel_for(classes, features)
+        setup_seconds = kernel.preprocessing_seconds(csr, self.machine)
+        return OptimizationPlan(
+            classes=classes,
+            optimizations=optimizations,
+            kernel_name=kernel.name,
+            decision_seconds=decision_seconds,
+            setup_seconds=setup_seconds,
+            classifier_kind=self.classifier_kind,
+        )
+
+    def optimize(self, csr: CSRMatrix) -> OptimizedSpMV:
+        """Full pipeline: classify, select, preprocess, return operator."""
+        plan = self.plan(csr)
+        kernel = (
+            self.pool.kernel_for(plan.classes, csr=csr)
+            if plan.optimizations
+            else baseline_kernel()
+        )
+        data = kernel.preprocess(csr)
+        return OptimizedSpMV(
+            csr=csr,
+            kernel=kernel,
+            data=data,
+            machine=self.machine,
+            plan=plan,
+        )

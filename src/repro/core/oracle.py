@@ -1,0 +1,82 @@
+"""Oracle optimizer: the perfect selector (paper Fig. 7's upper line).
+
+The oracle sweeps the space of configurations the adaptive optimizer
+could ever produce — every subset of {compression, prefetching,
+unrolling} jointly with every IMB strategy {none, decomposition,
+auto-sched} — simulates each, and keeps the fastest. Its setup cost is
+by definition not charged (it is an upper bound on achievable
+performance, not a practical optimizer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from ..formats import CSRMatrix
+from ..kernels import ConfiguredSpMV, baseline_kernel, merged_pool_kernel
+from ..machine import ExecutionEngine, MachineSpec, RunResult
+
+__all__ = ["OracleChoice", "oracle_search", "oracle_configurations"]
+
+_JOINT = ("compression", "prefetching", "unrolling")
+_IMB = (None, "decomposition", "auto-sched")
+
+
+def oracle_configurations() -> list[tuple[str, ...]]:
+    """All optimization combinations reachable by the optimizer."""
+    configs: list[tuple[str, ...]] = []
+    for r in range(len(_JOINT) + 1):
+        for joint in combinations(_JOINT, r):
+            for imb in _IMB:
+                names = tuple(joint) + ((imb,) if imb else ())
+                configs.append(names)
+    return configs
+
+
+@dataclass(frozen=True)
+class OracleChoice:
+    """Best configuration found by the exhaustive sweep."""
+
+    optimizations: tuple[str, ...]
+    result: RunResult
+    baseline: RunResult
+    n_evaluated: int
+
+    @property
+    def gflops(self) -> float:
+        return self.result.gflops
+
+    @property
+    def speedup_over_baseline(self) -> float:
+        return self.result.gflops / self.baseline.gflops
+
+
+def oracle_search(
+    csr: CSRMatrix,
+    machine: MachineSpec,
+    nthreads: int | None = None,
+) -> OracleChoice:
+    """Exhaustively find the best pool configuration for ``csr``."""
+    engine = ExecutionEngine(machine, nthreads)
+    base = baseline_kernel()
+    baseline = engine.run(base, base.preprocess(csr))
+
+    best_names: tuple[str, ...] = ()
+    best = baseline
+    n = 0
+    for names in oracle_configurations():
+        kernel: ConfiguredSpMV = (
+            merged_pool_kernel(names) if names else baseline_kernel()
+        )
+        result = engine.run(kernel, kernel.preprocess(csr))
+        n += 1
+        if result.gflops > best.gflops:
+            best = result
+            best_names = names
+    return OracleChoice(
+        optimizations=best_names,
+        result=best,
+        baseline=baseline,
+        n_evaluated=n,
+    )

@@ -1,0 +1,97 @@
+"""Profile-guided (rule-based) classifier — paper Fig. 5.
+
+Classification compares the per-class upper bounds against the measured
+baseline::
+
+    class <- {}
+    if P_IMB / P_CSR > T_IMB:                       class += {IMB}
+    if P_ML  / P_CSR > T_ML:                        class += {ML}
+    if P_CSR ~ P_MB and P_MB < P_CMP < P_peak:      class += {MB}
+    if P_MB > P_CMP or P_CMP > P_peak:              class += {CMP}
+
+``T_ML`` and ``T_IMB`` are the paper's hyperparameters (1.25 and 1.24,
+found by exhaustive grid search maximizing the average gain of the
+resulting optimizations — reproduced in :mod:`repro.core.gridsearch`).
+The paper renders "P_CSR ~ P_MB" without a number; we parameterize the
+approximation as ``P_CSR / P_MB >= t_mb``.
+
+An empty result is meaningful: the matrix is not worth optimizing with
+any pool optimization (the feature classifier's "dummy" class).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..formats import CSRMatrix
+from ..machine import MachineSpec
+from .bounds import PerformanceBounds, measure_bounds, profiling_seconds
+from .classes import Bottleneck, ClassSet
+
+__all__ = ["ProfileThresholds", "ProfileGuidedClassifier", "classify_from_bounds"]
+
+
+@dataclass(frozen=True)
+class ProfileThresholds:
+    """Hyperparameters of the rule-based classifier."""
+
+    t_ml: float = 1.25      # paper's grid-searched value
+    t_imb: float = 1.24     # paper's grid-searched value
+    t_mb: float = 0.75      # "P_CSR ~ P_MB" tolerance (ratio >= t_mb)
+
+    def __post_init__(self) -> None:
+        if self.t_ml <= 1.0 or self.t_imb <= 1.0:
+            raise ValueError("t_ml and t_imb must exceed 1.0")
+        if not 0.0 < self.t_mb <= 1.0:
+            raise ValueError("t_mb must be in (0, 1]")
+
+
+def classify_from_bounds(
+    bounds: PerformanceBounds,
+    thresholds: ProfileThresholds = ProfileThresholds(),
+) -> ClassSet:
+    """Apply the Fig. 5 decision rules to measured bounds."""
+    classes: set[Bottleneck] = set()
+    if bounds.p_csr <= 0:
+        raise ValueError("baseline performance must be positive")
+
+    if bounds.p_imb / bounds.p_csr > thresholds.t_imb:
+        classes.add(Bottleneck.IMB)
+    if bounds.p_ml / bounds.p_csr > thresholds.t_ml:
+        classes.add(Bottleneck.ML)
+    if (
+        bounds.p_csr / bounds.p_mb >= thresholds.t_mb
+        and bounds.p_mb < bounds.p_cmp < bounds.p_peak
+    ):
+        classes.add(Bottleneck.MB)
+    if bounds.p_mb > bounds.p_cmp or bounds.p_cmp > bounds.p_peak:
+        classes.add(Bottleneck.CMP)
+    return frozenset(classes)
+
+
+class ProfileGuidedClassifier:
+    """Classifies matrices by online profiling on a target machine."""
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        thresholds: ProfileThresholds | None = None,
+        nthreads: int | None = None,
+    ):
+        self.machine = machine
+        self.thresholds = thresholds or ProfileThresholds()
+        self.nthreads = nthreads
+
+    def bounds(self, csr: CSRMatrix) -> PerformanceBounds:
+        """The measured bounds this classifier decides from."""
+        return measure_bounds(csr, self.machine, self.nthreads)
+
+    def classify(self, csr: CSRMatrix) -> ClassSet:
+        """Detected bottleneck classes of ``csr`` on the target machine."""
+        return classify_from_bounds(self.bounds(csr), self.thresholds)
+
+    def classify_with_cost(self, csr: CSRMatrix) -> tuple[ClassSet, float]:
+        """Classes plus the simulated online profiling cost (seconds)."""
+        bounds = self.bounds(csr)
+        classes = classify_from_bounds(bounds, self.thresholds)
+        return classes, profiling_seconds(bounds, csr)

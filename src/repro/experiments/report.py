@@ -1,0 +1,105 @@
+"""Full reproduction report generator.
+
+Runs every experiment driver and renders a single markdown document —
+the machine-generated half of ``EXPERIMENTS.md``. Useful to re-verify
+the whole reproduction after model or corpus changes::
+
+    python -m repro.experiments.report [out.md] [scale] [train_count]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from . import ablations, fig1, fig4, fig5, fig7, table2, table3, table4, table5
+from .common import ExperimentTable
+
+__all__ = ["generate_report", "ALL_DRIVERS"]
+
+#: (section title, callable(scale, train_count) -> ExperimentTable)
+ALL_DRIVERS = (
+    ("Table III — platforms & STREAM", lambda s, t: table3.run()),
+    ("Table II — feature inventory", lambda s, t: table2.run()),
+    ("Table II — extraction scaling", lambda s, t: table2.extraction_scaling()),
+    ("Fig. 1 — single-optimization effects (KNC)",
+     lambda s, t: fig1.run(scale=s)),
+    ("Fig. 4 — bounds landscape (KNC)", lambda s, t: fig4.run(scale=s)),
+    ("Fig. 5 — threshold grid search (KNC)",
+     lambda s, t: fig5.run(corpus_count=min(t, 60))),
+    ("Table IV — classifier accuracy (KNC)",
+     lambda s, t: table4.run(train_count=t)),
+    ("Fig. 7a — performance landscape (KNC)",
+     lambda s, t: fig7.run("knc", scale=s, train_count=t)),
+    ("Fig. 7b — performance landscape (KNL)",
+     lambda s, t: fig7.run("knl", scale=s, train_count=t)),
+    ("Fig. 7c — performance landscape (Broadwell)",
+     lambda s, t: fig7.run("broadwell", scale=s, train_count=t)),
+    ("Table V — amortization (KNL)",
+     lambda s, t: table5.run(scale=s, train_count=t)),
+    ("A1 — IMB strategy ablation", lambda s, t: ablations.imb_strategy(scale=s)),
+    ("A2 — delta width ablation", lambda s, t: ablations.delta_width(scale=s)),
+    ("A3 — scheduling ablation",
+     lambda s, t: ablations.scheduling_policies(scale=s)),
+    ("A4 — tree ablation",
+     lambda s, t: ablations.tree_ablation(corpus_count=min(t, 80))),
+    ("A5 — partitioned ML detection (extension)",
+     lambda s, t: ablations.partitioned_ml(scale=s)),
+    ("A6 — BCSR vs delta compression (extension)",
+     lambda s, t: ablations.bcsr_vs_delta(scale=s)),
+    ("A7 — format landscape (extension)",
+     lambda s, t: ablations.format_landscape(scale=s)),
+    ("A8 — architecture sensitivity (extension)",
+     lambda s, t: ablations.architecture_sensitivity(scale=s)),
+)
+
+
+def _table_to_markdown(table: ExperimentTable) -> str:
+    lines = [
+        "| " + " | ".join(table.headers) + " |",
+        "|" + "|".join("---" for _ in table.headers) + "|",
+    ]
+    for row in table.rows:
+        cells = [
+            f"{c:.2f}" if isinstance(c, float) else str(c) for c in row
+        ]
+        lines.append("| " + " | ".join(cells) + " |")
+    for note in table.notes:
+        lines.append(f"\n*{note}*")
+    return "\n".join(lines)
+
+
+def generate_report(scale: float = 1.0, train_count: int = 210,
+                    stream=None) -> str:
+    """Run all drivers; return (and optionally stream) markdown."""
+    chunks = [
+        "# Reproduction report (machine generated)",
+        "",
+        f"suite scale: {scale}, training corpus: {train_count} matrices.",
+        "",
+    ]
+    t0 = time.time()
+    for title, driver in ALL_DRIVERS:
+        table = driver(scale, train_count)
+        chunk = f"## {title}\n\n{_table_to_markdown(table)}\n"
+        chunks.append(chunk)
+        if stream is not None:
+            stream.write(chunk + "\n")
+            stream.flush()
+    chunks.append(f"\n_total generation time: {time.time() - t0:.0f}s_")
+    return "\n".join(chunks)
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover
+    argv = sys.argv[1:] if argv is None else argv
+    out = argv[0] if argv else "reproduction_report.md"
+    scale = float(argv[1]) if len(argv) > 1 else 1.0
+    train = int(argv[2]) if len(argv) > 2 else 210
+    with open(out, "w", encoding="utf-8") as fh:
+        generate_report(scale=scale, train_count=train, stream=fh)
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,82 @@
+"""Experiment E6 — paper Table IV.
+
+Leave-One-Out accuracy of the feature-guided Decision Tree classifier
+on the training corpus labeled by the profile-guided classifier, for
+the paper's two feature subsets: the O(N) subset (paper: 80% exact /
+95% partial) and the O(NNZ) subset (paper: 84% / 100%).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import ProfileGuidedClassifier, classes_to_labels
+from ..machine import KNC, MachineSpec
+from ..matrices import PAPER_ON_SUBSET, PAPER_ONNZ_SUBSET, training_suite
+from ..matrices.features import extract_features
+from ..ml import DecisionTree, leave_one_out
+from .common import ExperimentTable
+
+__all__ = ["run", "corpus_features_and_labels"]
+
+
+def corpus_features_and_labels(
+    machine: MachineSpec,
+    train_count: int = 210,
+    seed: int = 2017,
+    feature_names: tuple[str, ...] | None = None,
+):
+    """Features (full Table II set unless restricted) + profile labels."""
+    from ..matrices.features import FEATURE_NAMES
+
+    names = feature_names or FEATURE_NAMES
+    corpus = training_suite(count=train_count, seed=seed)
+    labeler = ProfileGuidedClassifier(machine)
+    X = np.array(
+        [
+            extract_features(
+                t.matrix,
+                llc_bytes=machine.llc_bytes,
+                line_elems=machine.line_elems,
+            ).as_array(names)
+            for t in corpus
+        ]
+    )
+    Y = np.array(
+        [classes_to_labels(labeler.classify(t.matrix)) for t in corpus]
+    )
+    return X, Y, names
+
+
+def run(machine: MachineSpec = KNC, train_count: int = 210,
+        seed: int = 2017) -> ExperimentTable:
+    """Regenerate Table IV on ``machine`` (paper reports KNC)."""
+    table = ExperimentTable(
+        experiment_id="table4",
+        title=(
+            f"Feature-guided classifier LOO accuracy on {machine.codename} "
+            f"({train_count} matrices)"
+        ),
+        headers=("feature set", "complexity", "exact (%)", "partial (%)"),
+    )
+
+    def tree_factory() -> DecisionTree:
+        return DecisionTree(max_depth=12, min_samples_leaf=2)
+
+    for label, subset, complexity in (
+        ("paper O(N) subset", PAPER_ON_SUBSET, "O(N)"),
+        ("paper O(NNZ) subset", PAPER_ONNZ_SUBSET, "O(NNZ)"),
+    ):
+        X, Y, _ = corpus_features_and_labels(
+            machine, train_count=train_count, seed=seed,
+            feature_names=tuple(subset),
+        )
+        res = leave_one_out(X, Y, tree_factory)
+        table.add(
+            label, complexity,
+            float(100.0 * res.exact_match),
+            float(100.0 * res.partial_match),
+        )
+
+    table.note("paper (KNC): O(N) 80/95, O(NNZ) 84/100")
+    return table

@@ -1,0 +1,30 @@
+"""Sparse matrix storage formats (system S1 in DESIGN.md).
+
+Canonical execution format is :class:`CSRMatrix`; :class:`COOMatrix`
+is the interchange format; :class:`DeltaCSR` and :class:`DecomposedCSR`
+are the optimized layouts used by the MB- and IMB-class optimizations.
+"""
+
+from .base import SparseFormat
+from .bcsr import BCSRMatrix
+from .convert import available_formats, convert, register_format
+from .coo import COOMatrix
+from .csr import CSRMatrix
+from .decomposed import DecomposedCSR, default_long_row_threshold
+from .delta import DeltaCSR, choose_delta_width
+from .sellcs import SellCSigmaMatrix
+
+__all__ = [
+    "SparseFormat",
+    "BCSRMatrix",
+    "SellCSigmaMatrix",
+    "COOMatrix",
+    "CSRMatrix",
+    "DeltaCSR",
+    "DecomposedCSR",
+    "choose_delta_width",
+    "default_long_row_threshold",
+    "convert",
+    "available_formats",
+    "register_format",
+]

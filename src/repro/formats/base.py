@@ -1,0 +1,96 @@
+"""Abstract interface shared by all sparse-matrix storage formats.
+
+Every format in :mod:`repro.formats` exposes
+
+* the logical matrix (``shape``, ``nnz``),
+* a numeric plane: :meth:`SparseFormat.matvec` computes ``y = A @ x``
+  with vectorized NumPy, used for correctness and by the solvers, and
+* a storage-accounting plane: :meth:`SparseFormat.index_nbytes` /
+  :meth:`SparseFormat.value_nbytes`, used by the machine model to derive
+  memory traffic and by the paper's per-class performance bounds
+  (``M_{A_format,min} = S_format`` in Section III-B).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["SparseFormat"]
+
+
+class SparseFormat(abc.ABC):
+    """Base class for sparse matrix storage formats."""
+
+    #: short identifier used in reports, e.g. ``"csr"``.
+    format_name: str = "abstract"
+
+    @property
+    @abc.abstractmethod
+    def shape(self) -> tuple[int, int]:
+        """Logical ``(rows, cols)`` of the matrix."""
+
+    @property
+    @abc.abstractmethod
+    def nnz(self) -> int:
+        """Number of stored (explicit) nonzero elements."""
+
+    @abc.abstractmethod
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Return ``A @ x`` as a new float64 vector."""
+
+    @abc.abstractmethod
+    def index_nbytes(self) -> int:
+        """Bytes used by indexing structures (rowptr/colind/deltas/...)."""
+
+    @abc.abstractmethod
+    def value_nbytes(self) -> int:
+        """Bytes used by the stored numeric values."""
+
+    def total_nbytes(self) -> int:
+        """Total bytes of the matrix representation."""
+        return self.index_nbytes() + self.value_nbytes()
+
+    def matvec_into(self, x: np.ndarray, y: np.ndarray,
+                    alpha: float = 1.0, beta: float = 0.0) -> np.ndarray:
+        """General SpMV update ``y = alpha * A @ x + beta * y`` in place.
+
+        Matches the vendor-library (``mkl_dcsrmv``) calling convention
+        the paper benchmarks against. ``y`` is updated and returned.
+        """
+        y = np.asarray(y)
+        if y.shape != (self.nrows,):
+            raise ValueError(f"y must have shape ({self.nrows},), got {y.shape}")
+        if y.dtype != np.float64:
+            raise TypeError("y must be float64 (updated in place)")
+        if beta == 0.0:
+            y[:] = 0.0
+        elif beta != 1.0:
+            y *= beta
+        product = self.matvec(x)
+        if alpha == 1.0:
+            y += product
+        elif alpha != 0.0:
+            y += alpha * product
+        return y
+
+    # -- conveniences -------------------------------------------------
+
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.shape[1]
+
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        return self.matvec(np.asarray(x))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        r, c = self.shape
+        return (
+            f"<{type(self).__name__} {r}x{c} nnz={self.nnz} "
+            f"bytes={self.total_nbytes()}>"
+        )

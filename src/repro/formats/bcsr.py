@@ -1,0 +1,177 @@
+"""Block CSR (BCSR) — register-blocked sparse format.
+
+The classic OSKI/SPARSITY optimization the paper's related-work section
+discusses: nonzeros are stored in small dense ``r x c`` blocks, one
+column index per *block*. Index traffic drops by ~``r*c``x, and the
+inner loop becomes a dense register-tiled kernel — at the price of
+explicitly stored zeros (*fill-in*) wherever a block is only partially
+populated.
+
+This format is not part of the paper's pool (it needs nontrivial
+autotuning of the block size, against the paper's lightweightness
+goal); it is included as the demonstration payload for the pool's
+plug-and-play extension point (see ``repro.kernels.bcsr``) and the A6
+ablation comparing it against delta compression for the MB class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive
+from .base import SparseFormat
+from .csr import CSRMatrix
+
+__all__ = ["BCSRMatrix"]
+
+
+class BCSRMatrix(SparseFormat):
+    """Sparse matrix in block-CSR format with square ``block`` tiles.
+
+    Build with :meth:`from_csr`. Blocks are aligned to the grid
+    ``(row // block, col // block)``; partially filled blocks store
+    explicit zeros (``fill_ratio`` reports the inflation).
+    """
+
+    format_name = "bcsr"
+
+    __slots__ = ("block_rowptr", "block_colind", "block_values", "block",
+                 "_shape", "_nnz")
+
+    def __init__(self, block_rowptr, block_colind, block_values, block,
+                 shape, nnz):
+        self.block_rowptr = np.ascontiguousarray(block_rowptr, dtype=np.int64)
+        self.block_colind = np.ascontiguousarray(block_colind, dtype=np.int32)
+        self.block_values = np.ascontiguousarray(block_values,
+                                                 dtype=np.float64)
+        self.block = int(block)
+        self._shape = (int(shape[0]), int(shape[1]))
+        self._nnz = int(nnz)
+        nblocks = self.block_colind.size
+        if self.block_values.shape != (nblocks, self.block, self.block):
+            raise ValueError(
+                "block_values must have shape (nblocks, block, block)"
+            )
+        if self.block_rowptr[-1] != nblocks:
+            raise ValueError("block_rowptr must end at nblocks")
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix, block: int = 2) -> "BCSRMatrix":
+        """Tile ``csr`` into ``block x block`` dense blocks."""
+        check_positive("block", block)
+        r = int(block)
+        nrows, ncols = csr.shape
+        nbrows = -(-nrows // r)
+        nbcols = -(-ncols // r)
+
+        if csr.nnz == 0:
+            return cls(
+                np.zeros(nbrows + 1, dtype=np.int64),
+                np.zeros(0, dtype=np.int32),
+                np.zeros((0, r, r)),
+                r, csr.shape, 0,
+            )
+
+        rows = csr.row_ids_per_nnz()
+        cols = csr.colind.astype(np.int64)
+        brow = rows // r
+        bcol = cols // r
+        key = brow * nbcols + bcol
+        uniq, inverse = np.unique(key, return_inverse=True)
+        nblocks = uniq.size
+
+        values = np.zeros((nblocks, r, r), dtype=np.float64)
+        np.add.at(values, (inverse, rows % r, cols % r), csr.values)
+
+        u_brow = (uniq // nbcols).astype(np.int64)
+        u_bcol = (uniq % nbcols).astype(np.int32)
+        block_rowptr = np.zeros(nbrows + 1, dtype=np.int64)
+        np.add.at(block_rowptr, u_brow + 1, 1)
+        np.cumsum(block_rowptr, out=block_rowptr)
+        # uniq is sorted by key = brow*nbcols + bcol, i.e. already in
+        # block-row-major order; no further permutation needed.
+        return cls(block_rowptr, u_bcol, values, r, csr.shape, csr.nnz)
+
+    def to_csr(self) -> CSRMatrix:
+        """Back to CSR, dropping the explicit fill-in zeros."""
+        r = self.block
+        nblocks = self.block_colind.size
+        brow = np.repeat(
+            np.arange(self.block_rowptr.size - 1, dtype=np.int64),
+            np.diff(self.block_rowptr),
+        )
+        rows = (
+            brow[:, None, None] * r
+            + np.arange(r)[None, :, None]
+        ) * np.ones((1, 1, r), dtype=np.int64)
+        cols = (
+            self.block_colind.astype(np.int64)[:, None, None] * r
+            + np.arange(r)[None, None, :]
+        ) * np.ones((1, r, 1), dtype=np.int64)
+        mask = self.block_values != 0.0
+        in_range = (rows < self.nrows) & (cols < self.ncols)
+        keep = mask & in_range
+        return CSRMatrix.from_arrays(
+            rows[keep], cols[keep], self.block_values[keep], self._shape
+        )
+
+    # -- SparseFormat interface --------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        """Logical nonzeros (excluding fill-in)."""
+        return self._nnz
+
+    @property
+    def nblocks(self) -> int:
+        return int(self.block_colind.size)
+
+    @property
+    def stored_elements(self) -> int:
+        """Physically stored values, including fill-in zeros."""
+        return int(self.nblocks * self.block * self.block)
+
+    @property
+    def fill_ratio(self) -> float:
+        """Stored / logical elements (1.0 = perfect blocks)."""
+        return self.stored_elements / max(self._nnz, 1)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.ncols,):
+            raise ValueError(f"x must have shape ({self.ncols},), got {x.shape}")
+        r = self.block
+        # pad x up to the block grid
+        pad_cols = self.block_colind.size and (
+            -(-self.ncols // r) * r
+        ) or self.ncols
+        xp = np.zeros(max(pad_cols, self.ncols), dtype=np.float64)
+        xp[: self.ncols] = x
+        nbrows = self.block_rowptr.size - 1
+        yp = np.zeros(nbrows * r, dtype=np.float64)
+        if self.nblocks:
+            xblocks = xp[
+                (self.block_colind.astype(np.int64)[:, None] * r
+                 + np.arange(r)[None, :])
+            ]                                        # (nblocks, r)
+            contrib = np.einsum("bij,bj->bi", self.block_values, xblocks)
+            brow = np.repeat(
+                np.arange(nbrows, dtype=np.int64),
+                np.diff(self.block_rowptr),
+            )
+            np.add.at(
+                yp.reshape(nbrows, r), brow, contrib
+            )
+        return yp[: self.nrows]
+
+    def index_nbytes(self) -> int:
+        return int(self.block_rowptr.nbytes + self.block_colind.nbytes)
+
+    def value_nbytes(self) -> int:
+        return int(self.block_values.nbytes)

@@ -1,0 +1,53 @@
+"""Format conversion dispatcher.
+
+A tiny registry so that optimizers can request "convert this CSR matrix
+into format X" by name, mirroring the plug-and-play structure of the
+optimization pool (paper Section III).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .csr import CSRMatrix
+from .decomposed import DecomposedCSR
+from .delta import DeltaCSR
+
+__all__ = ["convert", "available_formats", "register_format"]
+
+_CONVERTERS: dict[str, Callable[..., Any]] = {}
+
+
+def register_format(name: str, converter: Callable[..., Any]) -> None:
+    """Register ``converter(csr, **params)`` under ``name``."""
+    if not callable(converter):
+        raise TypeError("converter must be callable")
+    _CONVERTERS[name] = converter
+
+
+def available_formats() -> tuple[str, ...]:
+    """Names accepted by :func:`convert`."""
+    return tuple(sorted(_CONVERTERS))
+
+
+def convert(csr: CSRMatrix, name: str, **params: Any):
+    """Convert ``csr`` to the named format.
+
+    Parameters are forwarded to the format constructor, e.g.
+    ``convert(csr, "delta-csr", width=8)``.
+    """
+    try:
+        converter = _CONVERTERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown format {name!r}; available: {available_formats()}"
+        ) from None
+    return converter(csr, **params)
+
+
+register_format("csr", lambda csr: csr)
+register_format("coo", lambda csr: csr.to_coo())
+register_format("delta-csr", DeltaCSR.from_csr)
+register_format("bcsr", __import__("repro.formats.bcsr", fromlist=["BCSRMatrix"]).BCSRMatrix.from_csr)
+register_format("sell-c-sigma", __import__("repro.formats.sellcs", fromlist=["SellCSigmaMatrix"]).SellCSigmaMatrix.from_csr)
+register_format("decomposed-csr", DecomposedCSR.from_csr)

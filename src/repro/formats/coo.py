@@ -1,0 +1,125 @@
+"""Coordinate (COO) sparse format.
+
+COO is the interchange format of this library: matrix generators and the
+Matrix Market reader produce COO, which is then converted to
+:class:`repro.formats.csr.CSRMatrix` (the canonical execution format) or
+to one of the optimized formats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_shape_2d, ensure_1d
+from .base import SparseFormat
+
+__all__ = ["COOMatrix"]
+
+
+class COOMatrix(SparseFormat):
+    """Sparse matrix in coordinate format.
+
+    Parameters
+    ----------
+    rows, cols : array_like of int
+        Row/column index of each stored element.
+    values : array_like of float
+        Value of each stored element.
+    shape : (int, int)
+        Logical matrix dimensions.
+    sum_duplicates : bool
+        When True (default), duplicate ``(row, col)`` entries are summed
+        during canonicalization, mirroring ``scipy.sparse`` semantics.
+    """
+
+    format_name = "coo"
+
+    __slots__ = ("rows", "cols", "values", "_shape")
+
+    def __init__(self, rows, cols, values, shape, *, sum_duplicates: bool = True):
+        self._shape = check_shape_2d("shape", shape)
+        rows = ensure_1d("rows", rows, dtype=np.int64)
+        cols = ensure_1d("cols", cols, dtype=np.int64)
+        values = ensure_1d("values", values, dtype=np.float64)
+        if not (rows.size == cols.size == values.size):
+            raise ValueError(
+                "rows, cols and values must have equal length, got "
+                f"{rows.size}, {cols.size}, {values.size}"
+            )
+        if rows.size:
+            if rows.min(initial=0) < 0 or rows.max(initial=0) >= self._shape[0]:
+                raise ValueError("row index out of bounds")
+            if cols.min(initial=0) < 0 or cols.max(initial=0) >= self._shape[1]:
+                raise ValueError("column index out of bounds")
+        # Canonicalize: sort by (row, col), optionally merging duplicates.
+        order = np.lexsort((cols, rows))
+        rows, cols, values = rows[order], cols[order], values[order]
+        if sum_duplicates and rows.size:
+            key_change = np.empty(rows.size, dtype=bool)
+            key_change[0] = True
+            key_change[1:] = (np.diff(rows) != 0) | (np.diff(cols) != 0)
+            group = np.cumsum(key_change) - 1
+            ngroups = int(group[-1]) + 1
+            merged = np.zeros(ngroups, dtype=np.float64)
+            np.add.at(merged, group, values)
+            rows = rows[key_change]
+            cols = cols[key_change]
+            values = merged
+        self.rows = rows
+        self.cols = cols
+        self.values = values
+
+    # -- SparseFormat interface ---------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.size)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.ncols,):
+            raise ValueError(f"x must have shape ({self.ncols},), got {x.shape}")
+        y = np.zeros(self.nrows, dtype=np.float64)
+        np.add.at(y, self.rows, self.values * x[self.cols])
+        return y
+
+    def index_nbytes(self) -> int:
+        return int(self.rows.nbytes + self.cols.nbytes)
+
+    def value_nbytes(self) -> int:
+        return int(self.values.nbytes)
+
+    # -- constructors & conversions -----------------------------------
+
+    @classmethod
+    def from_dense(cls, dense) -> "COOMatrix":
+        """Build from a dense 2-D array, keeping exact nonzeros."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ValueError("dense must be 2-D")
+        rows, cols = np.nonzero(dense)
+        return cls(rows, cols, dense[rows, cols], dense.shape)
+
+    @classmethod
+    def from_scipy(cls, mat) -> "COOMatrix":
+        """Build from any scipy.sparse matrix."""
+        coo = mat.tocoo()
+        return cls(coo.row, coo.col, coo.data, coo.shape)
+
+    def to_scipy(self):
+        """Return a ``scipy.sparse.coo_matrix`` copy."""
+        import scipy.sparse as sp
+
+        return sp.coo_matrix(
+            (self.values, (self.rows, self.cols)), shape=self._shape
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense float64 array (small matrices only)."""
+        out = np.zeros(self._shape, dtype=np.float64)
+        np.add.at(out, (self.rows, self.cols), self.values)
+        return out

@@ -1,0 +1,167 @@
+"""Decomposed CSR for matrices with highly uneven row lengths.
+
+Implements the IMB-class "matrix decomposition" optimization of the
+paper (Fig. 6 / Fig. 7 of the text): the matrix is split into
+
+* a *short part* — all rows whose length is at most ``threshold``,
+  stored as a regular CSR with the long rows left empty, and
+* a *long part* — the few very long rows, stored contiguously.
+
+SpMV then runs in two steps: the short part uses the ordinary
+row-partitioned kernel (long rows are skipped for free because they are
+empty), and every long row is computed by *all* threads cooperatively
+followed by a reduction of partial sums, which removes the imbalance a
+single monster row would otherwise cause.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import SparseFormat
+from .csr import CSRMatrix, _segment_sums
+
+__all__ = ["DecomposedCSR", "default_long_row_threshold"]
+
+
+def default_long_row_threshold(csr: CSRMatrix, nthreads: int = 64) -> int:
+    """Heuristic row-length cutoff above which a row is "long".
+
+    A row is worth decomposing when it alone exceeds the average
+    per-thread share of nonzeros by a wide margin, because a static row
+    partitioning cannot split it. We use a quarter of the fair
+    per-thread share, floored at 8x the mean row length (so near-uniform
+    matrices decompose nothing).
+    """
+    if csr.nrows == 0 or csr.nnz == 0:
+        return 1
+    fair_share = csr.nnz / max(nthreads, 1)
+    mean_len = csr.nnz / csr.nrows
+    return int(max(fair_share / 4.0, 8.0 * mean_len, 8.0))
+
+
+class DecomposedCSR(SparseFormat):
+    """Two-part (short rows + long rows) CSR decomposition."""
+
+    format_name = "decomposed-csr"
+
+    __slots__ = (
+        "short",
+        "long_rows",
+        "long_rowptr",
+        "long_colind",
+        "long_values",
+        "threshold",
+        "_shape",
+    )
+
+    def __init__(self, short, long_rows, long_rowptr, long_colind, long_values,
+                 threshold, shape):
+        self.short = short
+        self.long_rows = np.ascontiguousarray(long_rows, dtype=np.int64)
+        self.long_rowptr = np.ascontiguousarray(long_rowptr, dtype=np.int64)
+        self.long_colind = np.ascontiguousarray(long_colind, dtype=np.int32)
+        self.long_values = np.ascontiguousarray(long_values, dtype=np.float64)
+        self.threshold = int(threshold)
+        self._shape = (int(shape[0]), int(shape[1]))
+        if self.long_rowptr.size != self.long_rows.size + 1:
+            raise ValueError("long_rowptr must have len(long_rows) + 1 entries")
+        if self.long_colind.size != self.long_values.size:
+            raise ValueError("long_colind and long_values must match")
+
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix, threshold: int | None = None,
+                 nthreads: int = 64) -> "DecomposedCSR":
+        """Split ``csr`` into short and long parts at ``threshold`` nnz/row."""
+        if threshold is None:
+            threshold = default_long_row_threshold(csr, nthreads)
+        threshold = int(threshold)
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        row_nnz = csr.row_nnz()
+        long_rows = np.flatnonzero(row_nnz > threshold)
+        keep = np.ones(csr.nnz, dtype=bool)
+        for r in long_rows:  # few long rows by construction
+            keep[csr.rowptr[r] : csr.rowptr[r + 1]] = False
+
+        short_counts = row_nnz.copy()
+        short_counts[long_rows] = 0
+        short_rowptr = np.zeros(csr.nrows + 1, dtype=np.int64)
+        np.cumsum(short_counts, out=short_rowptr[1:])
+        short = CSRMatrix(
+            short_rowptr, csr.colind[keep], csr.values[keep], csr.shape
+        )
+
+        long_counts = row_nnz[long_rows]
+        long_rowptr = np.zeros(long_rows.size + 1, dtype=np.int64)
+        np.cumsum(long_counts, out=long_rowptr[1:])
+        return cls(
+            short,
+            long_rows,
+            long_rowptr,
+            csr.colind[~keep],
+            csr.values[~keep],
+            threshold,
+            csr.shape,
+        )
+
+    def to_csr(self) -> CSRMatrix:
+        """Reassemble the original CSR matrix (rows in canonical order)."""
+        row_nnz = self.short.row_nnz().copy()
+        row_nnz[self.long_rows] = np.diff(self.long_rowptr)
+        rowptr = np.zeros(self.nrows + 1, dtype=np.int64)
+        np.cumsum(row_nnz, out=rowptr[1:])
+        colind = np.empty(self.nnz, dtype=np.int32)
+        values = np.empty(self.nnz, dtype=np.float64)
+        # Short rows copy straight through; long rows fill their slots.
+        is_long = np.zeros(self.nrows, dtype=bool)
+        is_long[self.long_rows] = True
+        for i in range(self.nrows):
+            lo, hi = rowptr[i], rowptr[i + 1]
+            if is_long[i]:
+                j = int(np.searchsorted(self.long_rows, i))
+                llo, lhi = self.long_rowptr[j], self.long_rowptr[j + 1]
+                colind[lo:hi] = self.long_colind[llo:lhi]
+                values[lo:hi] = self.long_values[llo:lhi]
+            else:
+                slo, shi = self.short.rowptr[i], self.short.rowptr[i + 1]
+                colind[lo:hi] = self.short.colind[slo:shi]
+                values[lo:hi] = self.short.values[slo:shi]
+        return CSRMatrix(rowptr, colind, values, self._shape)
+
+    # -- SparseFormat interface ----------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        return int(self.short.nnz + self.long_values.size)
+
+    @property
+    def n_long_rows(self) -> int:
+        return int(self.long_rows.size)
+
+    @property
+    def long_nnz(self) -> int:
+        return int(self.long_values.size)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        y = self.short.matvec(x)
+        if self.long_rows.size:
+            products = self.long_values * x[self.long_colind]
+            y[self.long_rows] += _segment_sums(products, self.long_rowptr)
+        return y
+
+    def index_nbytes(self) -> int:
+        return int(
+            self.short.index_nbytes()
+            + self.long_rows.nbytes
+            + self.long_rowptr.nbytes
+            + self.long_colind.nbytes
+        )
+
+    def value_nbytes(self) -> int:
+        return int(self.short.value_nbytes() + self.long_values.nbytes)

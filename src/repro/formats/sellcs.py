@@ -1,0 +1,158 @@
+"""SELL-C-sigma — the sliced, sorted ELLPACK format.
+
+Kreutzer et al., "A unified sparse matrix data format for efficient
+general sparse matrix-vector multiplication on modern processors with
+wide SIMD units" (SIAM J. Sci. Comput. 2014) — cited by the paper as
+one of the footprint-compressing formats motivating its related work.
+
+Layout: rows are sorted by descending length within windows of
+``sigma`` rows, then grouped into *chunks* of ``C`` consecutive rows;
+each chunk is padded to its longest row and stored column-major, so a
+SIMD unit of width ``C`` processes ``C`` rows in lockstep with unit-
+stride loads of values and column indices. Sorting within sigma-windows
+keeps rows of similar length together, bounding the padding overhead
+while limiting how far the output permutation strays from the original
+order.
+
+Like BCSR, this is an extension payload for the plug-and-play pool
+(kernel in :mod:`repro.kernels.sellcs`), not part of the paper's
+low-preprocessing pool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive
+from .base import SparseFormat
+from .csr import CSRMatrix
+
+__all__ = ["SellCSigmaMatrix"]
+
+
+class SellCSigmaMatrix(SparseFormat):
+    """SELL-C-sigma storage. Build with :meth:`from_csr`."""
+
+    format_name = "sell-c-sigma"
+
+    __slots__ = ("chunk_ptr", "chunk_len", "colind", "values",
+                 "row_perm", "chunk", "sigma", "_shape", "_nnz")
+
+    def __init__(self, chunk_ptr, chunk_len, colind, values, row_perm,
+                 chunk, sigma, shape, nnz):
+        self.chunk_ptr = np.ascontiguousarray(chunk_ptr, dtype=np.int64)
+        self.chunk_len = np.ascontiguousarray(chunk_len, dtype=np.int64)
+        self.colind = np.ascontiguousarray(colind, dtype=np.int32)
+        self.values = np.ascontiguousarray(values, dtype=np.float64)
+        self.row_perm = np.ascontiguousarray(row_perm, dtype=np.int64)
+        self.chunk = int(chunk)
+        self.sigma = int(sigma)
+        self._shape = (int(shape[0]), int(shape[1]))
+        self._nnz = int(nnz)
+        nchunks = self.chunk_len.size
+        if self.chunk_ptr.size != nchunks + 1:
+            raise ValueError("chunk_ptr must have nchunks + 1 entries")
+        if self.colind.size != self.values.size:
+            raise ValueError("colind and values must have equal length")
+
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix, chunk: int = 8,
+                 sigma: int | None = None) -> "SellCSigmaMatrix":
+        """Convert ``csr``; ``sigma`` defaults to ``32 * chunk``."""
+        check_positive("chunk", chunk)
+        C = int(chunk)
+        if sigma is None:
+            sigma = 32 * C
+        sigma = max(int(sigma), C)
+
+        nrows = csr.nrows
+        row_nnz = csr.row_nnz()
+        # sort rows by descending length within sigma windows
+        perm = np.arange(nrows, dtype=np.int64)
+        for start in range(0, nrows, sigma):
+            stop = min(start + sigma, nrows)
+            window = perm[start:stop]
+            order = np.argsort(-row_nnz[window], kind="stable")
+            perm[start:stop] = window[order]
+
+        sorted_nnz = row_nnz[perm]
+        nchunks = -(-nrows // C)
+        chunk_len = np.zeros(nchunks, dtype=np.int64)
+        for ci in range(nchunks):
+            lo, hi = ci * C, min((ci + 1) * C, nrows)
+            chunk_len[ci] = sorted_nnz[lo:hi].max(initial=0)
+        chunk_ptr = np.zeros(nchunks + 1, dtype=np.int64)
+        np.cumsum(chunk_len * C, out=chunk_ptr[1:])
+
+        total = int(chunk_ptr[-1])
+        colind = np.zeros(total, dtype=np.int32)
+        values = np.zeros(total, dtype=np.float64)
+        # scatter each row into its column-major chunk slots
+        for ci in range(nchunks):
+            base = chunk_ptr[ci]
+            width = chunk_len[ci]
+            for lane in range(C):
+                r = ci * C + lane
+                if r >= nrows:
+                    break
+                row = perm[r]
+                lo, hi = csr.rowptr[row], csr.rowptr[row + 1]
+                k = hi - lo
+                if k == 0:
+                    continue
+                slots = base + lane + C * np.arange(k)
+                colind[slots] = csr.colind[lo:hi]
+                values[slots] = csr.values[lo:hi]
+        return cls(chunk_ptr, chunk_len, colind, values, perm, C, sigma,
+                   csr.shape, csr.nnz)
+
+    # -- SparseFormat interface ------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        return self._nnz
+
+    @property
+    def nchunks(self) -> int:
+        return int(self.chunk_len.size)
+
+    @property
+    def stored_elements(self) -> int:
+        """Physically stored slots, including padding."""
+        return int(self.values.size)
+
+    @property
+    def padding_ratio(self) -> float:
+        """Stored / logical elements (1.0 = no padding)."""
+        return self.stored_elements / max(self._nnz, 1)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.ncols,):
+            raise ValueError(f"x must have shape ({self.ncols},), got {x.shape}")
+        C = self.chunk
+        nrows = self.nrows
+        y_perm = np.zeros(self.nchunks * C, dtype=np.float64)
+        # padded slots have colind 0 and value 0.0: they contribute
+        # value * x[0] == 0, so no masking is needed
+        products = self.values * x[self.colind]
+        for ci in range(self.nchunks):
+            lo, hi = self.chunk_ptr[ci], self.chunk_ptr[ci + 1]
+            block = products[lo:hi].reshape(-1, C)   # (width, C)
+            y_perm[ci * C : (ci + 1) * C] = block.sum(axis=0)
+        y = np.zeros(nrows, dtype=np.float64)
+        y[self.row_perm] = y_perm[:nrows]
+        return y
+
+    def index_nbytes(self) -> int:
+        return int(
+            self.chunk_ptr.nbytes + self.chunk_len.nbytes
+            + self.colind.nbytes + self.row_perm.nbytes
+        )
+
+    def value_nbytes(self) -> int:
+        return int(self.values.nbytes)

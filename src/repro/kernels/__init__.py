@@ -1,0 +1,57 @@
+"""SpMV kernel variants: numeric + cost + preprocessing planes (S4)."""
+
+from .base import Kernel
+from .costmodel import row_compute_cycles, row_stream_bytes, spmv_cost
+from .microbench import RegularizedColindSpMV, UnitStrideSpMV
+from .preprocess_cost import (
+    JIT_CODEGEN_SECONDS,
+    decomposition_seconds,
+    delta_conversion_seconds,
+    feature_extraction_seconds,
+    pass_seconds,
+)
+from .registry import (
+    POOL_CONFIGS,
+    merged_pool_kernel,
+    pairwise_optimization_kernels,
+    pool_kernel,
+    pool_names,
+    register_pool_optimization,
+    registered_pool_names,
+    single_optimization_kernels,
+)
+from .bcsr import BCSRSpMV
+from .sellcs import SellCSigmaSpMV
+from .variants import ConfiguredSpMV, PreparedData, SpMVConfig, baseline_kernel
+
+# Register BCSR as a ready-made plug-and-play optimization (block 2).
+register_pool_optimization("bcsr", lambda: BCSRSpMV(block=2))
+register_pool_optimization("sell-c-sigma", lambda: SellCSigmaSpMV(chunk=8))
+
+__all__ = [
+    "Kernel",
+    "BCSRSpMV",
+    "SellCSigmaSpMV",
+    "SpMVConfig",
+    "PreparedData",
+    "ConfiguredSpMV",
+    "baseline_kernel",
+    "RegularizedColindSpMV",
+    "UnitStrideSpMV",
+    "spmv_cost",
+    "row_compute_cycles",
+    "row_stream_bytes",
+    "POOL_CONFIGS",
+    "pool_kernel",
+    "pool_names",
+    "register_pool_optimization",
+    "registered_pool_names",
+    "merged_pool_kernel",
+    "single_optimization_kernels",
+    "pairwise_optimization_kernels",
+    "JIT_CODEGEN_SECONDS",
+    "pass_seconds",
+    "delta_conversion_seconds",
+    "decomposition_seconds",
+    "feature_extraction_seconds",
+]

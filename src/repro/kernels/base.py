@@ -1,0 +1,85 @@
+"""Kernel interface: numeric plane + cost plane + preprocessing cost.
+
+Every SpMV kernel variant in this library exposes three planes:
+
+* **numeric**: :meth:`Kernel.apply` computes the actual ``y = A @ x``
+  with vectorized NumPy, so every transformation (delta decoding,
+  decomposition, schedule permutation) is functionally verified against
+  ``scipy.sparse`` in the test suite;
+* **cost**: :meth:`Kernel.cost` produces the per-thread cycle/byte/
+  latency terms the :class:`~repro.machine.engine.ExecutionEngine`
+  turns into simulated execution times;
+* **preprocessing**: :meth:`Kernel.preprocess` performs the actual
+  format conversion, and :meth:`Kernel.preprocessing_seconds` charges
+  its simulated setup cost (format conversion passes + JIT code
+  generation), which the amortization analysis of paper Table V
+  consumes.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..formats import CSRMatrix
+from ..machine import KernelCost, MachineSpec
+from ..sched import Partition, make_partition
+
+__all__ = ["Kernel"]
+
+
+class Kernel(abc.ABC):
+    """Base class for SpMV kernel variants."""
+
+    #: unique identifier, e.g. ``"csr"`` or ``"csr+vec+prefetch"``.
+    name: str = "abstract"
+    #: optimization tags applied relative to the scalar CSR baseline.
+    optimizations: tuple[str, ...] = ()
+    #: schedule policy name used by :meth:`partition`.
+    schedule: str = "balanced-nnz"
+
+    # -- preprocessing plane -------------------------------------------
+
+    def preprocess(self, csr: CSRMatrix):
+        """Convert ``csr`` into this kernel's execution format.
+
+        The returned object is what :meth:`apply` / :meth:`cost` accept
+        as ``data``. The default kernel executes CSR directly.
+        """
+        return csr
+
+    def preprocessing_seconds(self, csr: CSRMatrix, machine: MachineSpec) -> float:
+        """Simulated setup cost (conversion + JIT codegen) on ``machine``."""
+        return 0.0
+
+    # -- numeric plane ----------------------------------------------------
+
+    @abc.abstractmethod
+    def apply(self, data, x: np.ndarray) -> np.ndarray:
+        """Compute the kernel's result for input vector ``x``."""
+
+    # -- cost plane -------------------------------------------------------
+
+    @abc.abstractmethod
+    def cost(self, data, machine: MachineSpec, partition: Partition) -> KernelCost:
+        """Per-thread cost terms of one kernel execution."""
+
+    # -- scheduling ---------------------------------------------------------
+
+    def partition(self, data, nthreads: int) -> Partition:
+        """Default row partition for this kernel at ``nthreads``."""
+        return make_partition(self._schedulable(data), nthreads, self.schedule)
+
+    def _schedulable(self, data):
+        """The rowptr-bearing object the schedule should balance over."""
+        return data
+
+    # -- conveniences ------------------------------------------------------
+
+    def run_numeric(self, csr: CSRMatrix, x: np.ndarray) -> np.ndarray:
+        """Preprocess + apply in one step (tests & examples)."""
+        return self.apply(self.preprocess(csr), x)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,199 @@
+"""Shared per-row cost accounting for all CSR-family SpMV kernels.
+
+The machine model (DESIGN.md Section 6) needs, per thread: core compute
+cycles, streamed memory bytes, and exposed miss latency. This module
+computes those as *per-row* arrays from the matrix structure and the
+kernel's optimization flags, then folds them onto threads through the
+row partition. Everything is vectorized over rows.
+
+x-access modes
+--------------
+``"gather"``
+    Normal SpMV: ``x[colind[j]]`` — irregular, costed by the cache
+    model in :mod:`repro.machine.cache`.
+``"sequential"``
+    The paper's P_ML micro-kernel: ``colind`` entries are all set to
+    the current row index, so the gather hits one resident element per
+    row. Index loads still happen; miss latency vanishes.
+``"unit"``
+    The paper's P_CMP micro-kernel: indirection removed entirely —
+    ``colind`` is not even loaded and x is accessed unit-stride. The
+    now-regular inner loop is assumed auto-vectorized by the compiler
+    (the reason matrices with dense rows "improve with vectorization"
+    show ``P_CMP`` headroom).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_in
+from ..formats import CSRMatrix
+from ..machine import KernelCost, MachineSpec
+from ..machine.cache import x_access_cost
+from ..sched import Partition
+
+__all__ = ["row_compute_cycles", "row_stream_bytes", "spmv_cost"]
+
+#: Vector-load cost per element when x accesses are regular (no gather).
+_REGULAR_LOAD_CYCLES_PER_ELEM = 0.15
+
+#: Rows at least this many SIMD iterations long benefit from unrolling.
+_UNROLL_MIN_ITERS = 4
+
+#: y traffic per row: write + read-for-ownership (write-allocate).
+_Y_BYTES_PER_ROW = 16.0
+
+#: rowptr traffic per row (int64 offsets, one new entry per row).
+_ROWPTR_BYTES_PER_ROW = 8.0
+
+
+def row_compute_cycles(
+    row_nnz: np.ndarray,
+    machine: MachineSpec,
+    *,
+    vectorize: bool = False,
+    unroll: bool = False,
+    prefetch: bool = False,
+    decode: bool = False,
+    x_mode: str = "gather",
+) -> np.ndarray:
+    """Core compute cycles per row for the configured inner loop."""
+    check_in("x_mode", x_mode, ("gather", "sequential", "unit"))
+    nnz = row_nnz.astype(np.float64)
+    m = machine
+
+    if x_mode == "gather":
+        elem_access = m.gather_cycles_per_elem
+    else:
+        elem_access = _REGULAR_LOAD_CYCLES_PER_ELEM
+
+    if vectorize:
+        iters = np.ceil(nnz / m.simd_doubles)
+        per_iter = m.vec_iter_base_cycles + elem_access * m.simd_doubles
+        body = iters * per_iter
+        overhead = np.full_like(nnz, m.vec_row_overhead_cycles)
+        if unroll:
+            long = iters >= _UNROLL_MIN_ITERS
+            body = np.where(long, body / m.unroll_speedup, body)
+            overhead = np.where(long, overhead * 0.7, overhead)
+        cycles = overhead + body
+    else:
+        per_elem = m.scalar_cycles_per_nnz
+        if x_mode != "gather":
+            # Regular access: address arithmetic is simpler and the
+            # load hits L1; discount part of the scalar cost.
+            per_elem = max(per_elem - 1.0, 0.5)
+        body = nnz * per_elem
+        if unroll:
+            long = nnz >= 2 * m.simd_doubles
+            body = np.where(long, body / (0.5 + 0.5 * m.unroll_speedup), body)
+        cycles = m.row_overhead_cycles + body
+
+    if prefetch:
+        cycles = cycles + nnz * m.prefetch_issue_cycles
+    if decode:
+        cycles = cycles + nnz * m.decode_cycles_per_nnz
+    # Empty rows still pay the (scalar) loop bookkeeping.
+    return np.where(row_nnz > 0, cycles,
+                    float(m.row_overhead_cycles))
+
+
+def row_stream_bytes(
+    row_nnz: np.ndarray,
+    *,
+    index_bytes_per_nnz: float,
+    extra_index_bytes_per_row: float = 0.0,
+    x_dram_bytes: np.ndarray | None = None,
+    x_mode: str = "gather",
+) -> np.ndarray:
+    """Streamed memory traffic per row (matrix arrays + y + x)."""
+    nnz = row_nnz.astype(np.float64)
+    a_bytes = nnz * (8.0 + index_bytes_per_nnz)
+    per_row = (
+        a_bytes
+        + _ROWPTR_BYTES_PER_ROW
+        + extra_index_bytes_per_row
+        + _Y_BYTES_PER_ROW
+    )
+    if x_mode == "gather":
+        if x_dram_bytes is not None:
+            per_row = per_row + x_dram_bytes
+    else:
+        # One resident x element per row: negligible, line-amortized.
+        per_row = per_row + 8.0
+    return per_row
+
+
+def spmv_cost(
+    csr_structure: CSRMatrix,
+    machine: MachineSpec,
+    partition: Partition,
+    *,
+    vectorize: bool = False,
+    unroll: bool = False,
+    prefetch: bool = False,
+    decode: bool = False,
+    index_bytes_per_nnz: float = 4.0,
+    extra_index_bytes_per_row: float = 0.0,
+    x_mode: str = "gather",
+    flops: float | None = None,
+    working_set_bytes: float | None = None,
+    extra_seconds: np.ndarray | None = None,
+) -> KernelCost:
+    """Assemble a :class:`~repro.machine.engine.KernelCost`.
+
+    ``csr_structure`` supplies the row structure and, for
+    ``x_mode="gather"``, the column pattern for the cache model; the
+    byte accounting can be overridden (``index_bytes_per_nnz``) for
+    compressed index formats whose row structure matches the CSR.
+    """
+    partition.validate_covers(csr_structure.nrows)
+    row_nnz = csr_structure.row_nnz()
+
+    cycles = row_compute_cycles(
+        row_nnz, machine,
+        vectorize=vectorize, unroll=unroll, prefetch=prefetch,
+        decode=decode, x_mode=x_mode,
+    )
+
+    if x_mode == "gather":
+        xc = x_access_cost(csr_structure, machine,
+                           software_prefetch=prefetch)
+        latency_per_row = xc.latency_ns_per_row
+        x_bytes = xc.dram_bytes_per_row
+    else:
+        latency_per_row = np.zeros(csr_structure.nrows)
+        x_bytes = None
+
+    bytes_per_row = row_stream_bytes(
+        row_nnz,
+        index_bytes_per_nnz=index_bytes_per_nnz,
+        extra_index_bytes_per_row=extra_index_bytes_per_row,
+        x_dram_bytes=x_bytes,
+        x_mode=x_mode,
+    )
+
+    if flops is None:
+        flops = 2.0 * csr_structure.nnz
+    if working_set_bytes is None:
+        a_bytes = float(
+            row_nnz.sum() * (8.0 + index_bytes_per_nnz)
+            + csr_structure.nrows
+            * (_ROWPTR_BYTES_PER_ROW + extra_index_bytes_per_row)
+        )
+        working_set_bytes = a_bytes + 8.0 * (
+            csr_structure.nrows + csr_structure.ncols
+        )
+
+    return KernelCost(
+        compute_cycles=partition.thread_sums(cycles),
+        stream_bytes=partition.thread_sums(bytes_per_row),
+        latency_ns=partition.thread_sums(latency_per_row),
+        mlp=machine.mlp_prefetch if prefetch else machine.mlp,
+        flops=float(flops),
+        working_set_bytes=float(working_set_bytes),
+        extra_seconds=extra_seconds,
+        max_unit_cycles=float(cycles.max(initial=0.0)),
+        max_unit_latency_ns=float(latency_per_row.max(initial=0.0)),
+    )

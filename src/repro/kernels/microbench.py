@@ -1,0 +1,97 @@
+"""Micro-benchmark kernels used by the per-class performance bounds.
+
+Two of the paper's bounds (Section III-B) are defined operationally, by
+running a *modified* SpMV kernel:
+
+* ``P_ML`` — :class:`RegularizedColindSpMV`: every ``colind`` entry is
+  replaced by the current row index, converting all x accesses into
+  repeated hits on one resident element. Index loads, loop structure
+  and flop count are unchanged, so any performance delta versus the
+  baseline isolates the cost of irregular x accesses.
+* ``P_CMP`` — :class:`UnitStrideSpMV`: indirection is removed entirely;
+  ``colind`` is neither loaded nor used and x is accessed unit-stride.
+  The now-regular loop is auto-vectorizable, so this (very loose)
+  bound exposes the compute ceiling.
+
+Both kernels are *numerically different* from SpMV by construction —
+they are measurement instruments, not solvers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats import CSRMatrix
+from ..machine import KernelCost, MachineSpec
+from ..sched import Partition
+from .base import Kernel
+from .costmodel import spmv_cost
+
+__all__ = ["RegularizedColindSpMV", "UnitStrideSpMV"]
+
+
+class RegularizedColindSpMV(Kernel):
+    """P_ML micro-kernel: irregular x accesses made regular."""
+
+    name = "microbench-regularized"
+    optimizations = ("regularized-colind",)
+
+    def apply(self, data: CSRMatrix, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (data.ncols,):
+            raise ValueError(
+                f"x must have shape ({data.ncols},), got {x.shape}"
+            )
+        # colind[j] := row index  =>  y[i] = (sum_j vals_ij) * x[i]
+        row_sums = np.zeros(data.nrows, dtype=np.float64)
+        lengths = np.diff(data.rowptr)
+        nonempty = np.flatnonzero(lengths > 0)
+        if nonempty.size:
+            row_sums[nonempty] = np.add.reduceat(
+                data.values, data.rowptr[nonempty]
+            )
+        return row_sums * x[: data.nrows]
+
+    def cost(self, data: CSRMatrix, machine: MachineSpec,
+             partition: Partition) -> KernelCost:
+        return spmv_cost(
+            data, machine, partition,
+            vectorize=False,
+            x_mode="sequential",
+        )
+
+
+class UnitStrideSpMV(Kernel):
+    """P_CMP micro-kernel: indirection removed, unit-stride x access."""
+
+    name = "microbench-unitstride"
+    optimizations = ("unit-stride",)
+
+    def apply(self, data: CSRMatrix, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (data.ncols,):
+            raise ValueError(
+                f"x must have shape ({data.ncols},), got {x.shape}"
+            )
+        row_sums = np.zeros(data.nrows, dtype=np.float64)
+        lengths = np.diff(data.rowptr)
+        nonempty = np.flatnonzero(lengths > 0)
+        if nonempty.size:
+            row_sums[nonempty] = np.add.reduceat(
+                data.values, data.rowptr[nonempty]
+            )
+        return row_sums * x[: data.nrows]
+
+    def cost(self, data: CSRMatrix, machine: MachineSpec,
+             partition: Partition) -> KernelCost:
+        # The bench still *allocates* the full CSR (it only skips the
+        # colind loads), so the bandwidth level is chosen for the full
+        # SpMV working set — only the traffic shrinks.
+        full_ws = data.total_nbytes() + 8.0 * (data.nrows + data.ncols)
+        return spmv_cost(
+            data, machine, partition,
+            vectorize=True,          # regular loops auto-vectorize
+            index_bytes_per_nnz=0.0,  # colind not even loaded
+            x_mode="unit",
+            working_set_bytes=full_ws,
+        )

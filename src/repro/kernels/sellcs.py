@@ -1,0 +1,125 @@
+"""SELL-C-sigma SpMV kernel (extension payload, like BCSR).
+
+Cost plane: chunks of ``C`` rows execute in SIMD lockstep — unit-stride
+loads of values/indices, one gather per slot-row — so per-chunk cost is
+``width`` SIMD iterations regardless of individual row lengths. The
+price is the padding slots (streamed and computed on) and a permuted
+output vector (one extra pass over y).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats import CSRMatrix
+from ..formats.sellcs import SellCSigmaMatrix
+from ..machine import KernelCost, MachineSpec
+from ..machine.cache import stream_cost
+from ..sched import Partition, make_partition
+from .base import Kernel
+from .preprocess_cost import JIT_CODEGEN_SECONDS, pass_seconds
+
+__all__ = ["SellCSigmaSpMV"]
+
+
+class SellCSigmaSpMV(Kernel):
+    """SELL-C-sigma SpMV; ``chunk`` defaults to the SIMD width at cost
+    time (the format is built with the constructor's chunk)."""
+
+    optimizations = ("sell-c-sigma", "vectorization")
+    schedule = "balanced-nnz"
+
+    def __init__(self, chunk: int = 8, sigma: int | None = None):
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        self.chunk = int(chunk)
+        self.sigma = sigma
+        self.name = f"sell-{self.chunk}-{sigma if sigma else 32 * chunk}"
+
+    # -- preprocessing ----------------------------------------------------
+
+    def preprocess(self, csr: CSRMatrix) -> SellCSigmaMatrix:
+        return SellCSigmaMatrix.from_csr(csr, chunk=self.chunk,
+                                         sigma=self.sigma)
+
+    def preprocessing_seconds(self, csr: CSRMatrix, machine: MachineSpec) -> float:
+        # sigma-window sorts (short keys) + full array re-layout.
+        nbytes = csr.nnz * (12.0 * 2) + 16.0 * csr.nrows
+        return pass_seconds(nbytes, machine) + JIT_CODEGEN_SECONDS
+
+    # -- numeric plane ------------------------------------------------------
+
+    def apply(self, data: SellCSigmaMatrix, x: np.ndarray) -> np.ndarray:
+        return data.matvec(x)
+
+    # -- scheduling -----------------------------------------------------------
+
+    def partition(self, data: SellCSigmaMatrix, nthreads: int) -> Partition:
+        # balance stored slots across threads over chunks
+        proxy = self._chunk_proxy(data)
+        return make_partition(proxy, nthreads, "balanced-nnz")
+
+    @staticmethod
+    def _chunk_proxy(data: SellCSigmaMatrix) -> CSRMatrix:
+        """One proxy row per chunk, sized by its stored slots."""
+        return CSRMatrix(
+            data.chunk_ptr.copy(),
+            np.zeros(int(data.chunk_ptr[-1]), dtype=np.int32),
+            np.zeros(int(data.chunk_ptr[-1])),
+            (data.nchunks, max(data.ncols, 1)),
+        )
+
+    def _schedulable(self, data):  # pragma: no cover
+        raise NotImplementedError("SellCSigmaSpMV builds its own partition")
+
+    # -- cost plane ---------------------------------------------------------------
+
+    def cost(self, data: SellCSigmaMatrix, machine: MachineSpec,
+             partition: Partition) -> KernelCost:
+        m = machine
+        partition.validate_covers(data.nchunks)
+        C = data.chunk
+        width = data.chunk_len.astype(np.float64)
+
+        # One SIMD iteration per slot-row processes min(C, simd) lanes.
+        lanes_per_iter = min(C, m.simd_doubles)
+        iters = width * np.ceil(C / lanes_per_iter)
+        per_iter = (
+            m.vec_iter_base_cycles
+            + m.gather_cycles_per_elem * lanes_per_iter
+        )
+        cycles = m.vec_row_overhead_cycles + iters * per_iter
+
+        # Traffic: padded slots stream fully; + chunk metadata; + the
+        # y permutation writeback (16 B per row: load + store).
+        slots = width * C
+        bytes_per_chunk = slots * 12.0 + 16.0 + 16.0 * C
+
+        # x gathers follow the stored (chunk-column-major) stream;
+        # padding slots hit x[0], which is resident. The aggregate
+        # latency/traffic is distributed over chunks by stored slots.
+        total_share = slots / max(slots.sum(), 1.0)
+        agg = _aggregate_x_cost(data, m)
+        latency = agg["latency_ns"] * total_share
+        bytes_per_chunk = bytes_per_chunk + agg["dram_bytes"] * total_share
+
+        flops = 2.0 * data.nnz
+        ws = data.total_nbytes() + 8.0 * (data.nrows + data.ncols)
+        return KernelCost(
+            compute_cycles=partition.thread_sums(cycles),
+            stream_bytes=partition.thread_sums(bytes_per_chunk),
+            latency_ns=partition.thread_sums(latency),
+            mlp=m.mlp,
+            flops=flops,
+            working_set_bytes=ws,
+            max_unit_cycles=float(cycles.max(initial=0.0)),
+            max_unit_latency_ns=float(latency.max(initial=0.0)),
+        )
+
+
+def _aggregate_x_cost(data: SellCSigmaMatrix, machine: MachineSpec) -> dict:
+    """Total x latency/traffic of the stored gather stream (issue
+    order, padding slots excluded)."""
+    mask = data.values != 0.0
+    cols = data.colind[mask].astype(np.int64)
+    return stream_cost(cols, data.ncols, machine)

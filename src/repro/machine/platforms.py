@@ -1,0 +1,141 @@
+"""The three experimental platforms of the paper (Table III).
+
+Headline numbers (cores, SMT, frequency, cache sizes, STREAM triad
+main/LLC bandwidth) are copied from Table III. Microarchitectural
+parameters without a number in the paper (latencies, MLP, issue costs)
+are set from the paper's qualitative statements — e.g. "a very
+expensive (an order of magnitude higher compared to multi-cores) cache
+miss latency" on the Phis, in-order cores with weak scalar pipelines on
+KNC, weak hardware prefetching on the Phis versus strong on Broadwell —
+and from public microbenchmark literature for those parts. They were
+then jointly calibrated so the *shape* of the paper's Figures 1, 4 and
+7 emerges (see EXPERIMENTS.md), not fit per matrix.
+"""
+
+from __future__ import annotations
+
+from .spec import MachineSpec
+
+__all__ = ["KNC", "KNL", "BROADWELL", "PLATFORMS", "get_platform"]
+
+#: Intel Xeon Phi 3120P (Knights Corner). In-order cores, 4-way SMT,
+#: 512 KiB private L2 per core (30 MiB aggregate, remote hits travel the
+#: ring), no L3, GDDR5 memory. The in-order pipeline can keep very few
+#: misses in flight and the scalar FP path is weak, so the ML and CMP
+#: classes are prominent here.
+KNC = MachineSpec(
+    name="Intel Xeon Phi 3120P",
+    codename="knc",
+    cores=57,
+    smt=4,
+    freq_ghz=1.10,
+    l1_kib=32,
+    l2_kib_per_core=512,
+    llc_mib=30.0,
+    line_bytes=64,
+    bw_main_gbs=128.0,
+    bw_llc_gbs=140.0,
+    mem_latency_ns=310.0,
+    llc_hit_latency_ns=210.0,
+    simd_doubles=8,
+    inorder=True,
+    scalar_cycles_per_nnz=7.0,
+    row_overhead_cycles=10.0,
+    vec_row_overhead_cycles=12.0,
+    vec_iter_base_cycles=4.0,
+    gather_cycles_per_elem=1.2,
+    unroll_speedup=1.35,
+    prefetch_issue_cycles=0.6,
+    decode_cycles_per_nnz=0.8,
+    hw_prefetch_eff=0.25,
+    mlp=1.6,
+    mlp_prefetch=7.0,
+    barrier_us_base=4.0,
+    barrier_us_per_thread=0.045,
+)
+
+#: Intel Xeon Phi 7250 (Knights Landing) in Flat mode with the whole
+#: application allocated on MCDRAM (HBM), as in the paper. Modest
+#: out-of-order cores, 4-way SMT, 1 MiB L2 per 2-core tile (34 MiB
+#: aggregate), very high HBM bandwidth.
+KNL = MachineSpec(
+    name="Intel Xeon Phi 7250",
+    codename="knl",
+    cores=68,
+    smt=4,
+    freq_ghz=1.40,
+    l1_kib=32,
+    l2_kib_per_core=512,
+    llc_mib=34.0,
+    line_bytes=64,
+    bw_main_gbs=395.0,
+    bw_llc_gbs=570.0,
+    mem_latency_ns=165.0,
+    llc_hit_latency_ns=140.0,
+    simd_doubles=8,
+    inorder=False,
+    scalar_cycles_per_nnz=2.6,
+    row_overhead_cycles=6.0,
+    vec_row_overhead_cycles=7.0,
+    vec_iter_base_cycles=3.0,
+    gather_cycles_per_elem=0.4,
+    unroll_speedup=1.3,
+    prefetch_issue_cycles=0.35,
+    decode_cycles_per_nnz=0.6,
+    hw_prefetch_eff=0.5,
+    mlp=3.5,
+    mlp_prefetch=10.0,
+    barrier_us_base=3.0,
+    barrier_us_per_thread=0.03,
+)
+
+#: Intel Xeon E5-2699 v4 (Broadwell). Wide out-of-order cores, strong
+#: hardware prefetchers, big shared L3, but far less main-memory
+#: bandwidth than KNL's HBM — off-cache SpMV is usually simply MB here,
+#: and only cache-resident matrices leave room for other bottlenecks.
+BROADWELL = MachineSpec(
+    name="Intel Xeon E5-2699 v4",
+    codename="broadwell",
+    cores=22,
+    smt=2,
+    freq_ghz=2.20,
+    l1_kib=32,
+    l2_kib_per_core=256,
+    llc_mib=55.0,
+    line_bytes=64,
+    bw_main_gbs=60.0,
+    bw_llc_gbs=200.0,
+    mem_latency_ns=90.0,
+    llc_hit_latency_ns=35.0,
+    simd_doubles=4,
+    inorder=False,
+    scalar_cycles_per_nnz=1.6,
+    row_overhead_cycles=4.0,
+    vec_row_overhead_cycles=5.0,
+    vec_iter_base_cycles=2.0,
+    gather_cycles_per_elem=0.5,
+    unroll_speedup=1.2,
+    prefetch_issue_cycles=0.3,
+    decode_cycles_per_nnz=0.5,
+    hw_prefetch_eff=0.85,
+    mlp=10.0,
+    mlp_prefetch=12.0,
+    barrier_us_base=1.2,
+    barrier_us_per_thread=0.04,
+)
+
+PLATFORMS: dict[str, MachineSpec] = {
+    "knc": KNC,
+    "knl": KNL,
+    "broadwell": BROADWELL,
+}
+
+
+def get_platform(codename: str) -> MachineSpec:
+    """Look up a platform by codename (``knc``, ``knl``, ``broadwell``)."""
+    try:
+        return PLATFORMS[codename.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown platform {codename!r}; available: {sorted(PLATFORMS)}"
+        ) from None

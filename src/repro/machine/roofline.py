@@ -1,0 +1,89 @@
+"""Roofline model utilities (Williams et al., cited in paper §II).
+
+The paper frames SpMV's behaviour with the Roofline model: kernels with
+operational intensity below the machine's *ridge point* are memory
+bound; the CMP class is defined partly as matrices "pushed closer to
+the ridge point". These helpers compute attainable performance,
+classify which roof a simulated run sits under, and quantify roof
+utilization — used by the examples and by diagnostics on
+:class:`~repro.machine.engine.RunResult` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .engine import RunResult
+from .spec import MachineSpec
+
+__all__ = ["RooflinePoint", "peak_gflops", "ridge_point",
+           "attainable_gflops", "roofline_point"]
+
+#: Fraction of theoretical SIMD-FMA peak sustainable on real kernels
+#: (issue limits, no perfect FMA balance).
+_PEAK_EFFICIENCY = 0.8
+
+
+def peak_gflops(machine: MachineSpec) -> float:
+    """Sustainable compute roof: cores x freq x SIMD x 2 (FMA), derated."""
+    return (
+        machine.cores
+        * machine.freq_ghz
+        * machine.simd_doubles
+        * 2.0
+        * _PEAK_EFFICIENCY
+    )
+
+
+def ridge_point(machine: MachineSpec, ws_bytes: float | None = None) -> float:
+    """Operational intensity (flop/byte) where the roofs intersect."""
+    bw = (
+        machine.bw_main_gbs
+        if ws_bytes is None
+        else machine.bandwidth_for_working_set(ws_bytes) / 1e9
+    )
+    return peak_gflops(machine) / bw
+
+
+def attainable_gflops(machine: MachineSpec, intensity: float,
+                      ws_bytes: float | None = None) -> float:
+    """min(compute roof, intensity x bandwidth roof)."""
+    if intensity <= 0:
+        raise ValueError("intensity must be positive")
+    bw = (
+        machine.bw_main_gbs * 1e9
+        if ws_bytes is None
+        else machine.bandwidth_for_working_set(ws_bytes)
+    )
+    return min(peak_gflops(machine), intensity * bw / 1e9)
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel execution placed on the machine's roofline."""
+
+    intensity: float            # flops per byte moved
+    achieved_gflops: float
+    attainable_gflops: float
+    bound: str                  # "memory" or "compute"
+
+    @property
+    def roof_utilization(self) -> float:
+        """Achieved / attainable (1.0 = on the roof)."""
+        return self.achieved_gflops / self.attainable_gflops
+
+
+def roofline_point(result: RunResult, machine: MachineSpec,
+                   ws_bytes: float | None = None) -> RooflinePoint:
+    """Place a simulated run on the roofline."""
+    if result.total_bytes <= 0:
+        raise ValueError("run moved no bytes; intensity undefined")
+    intensity = result.flops / result.total_bytes
+    attainable = attainable_gflops(machine, intensity, ws_bytes)
+    ridge = ridge_point(machine, ws_bytes)
+    return RooflinePoint(
+        intensity=intensity,
+        achieved_gflops=result.gflops,
+        attainable_gflops=attainable,
+        bound="memory" if intensity < ridge else "compute",
+    )

@@ -1,0 +1,137 @@
+"""Machine specification for the analytical performance model.
+
+A :class:`MachineSpec` captures the architectural parameters the paper's
+bottleneck analysis reasons about (Table III plus the microarchitectural
+properties the text discusses): core counts and SMT, frequency, cache
+capacities, sustainable STREAM bandwidth in and out of LLC, cache-miss
+latency (an order of magnitude higher on Xeon Phi than on multicores),
+SIMD width, in-order vs out-of-order issue, hardware-prefetcher
+strength and achievable memory-level parallelism.
+
+Cycle-cost semantics: all ``*_cycles*`` parameters are **core cycles**.
+When SMT siblings share a core, each hardware thread observes its own
+work stretched by the number of co-resident threads; the execution
+engine multiplies per-thread compute cycles by ``smt`` accordingly.
+
+These parameters are *inputs* to the simulator; the per-platform values
+live in :mod:`repro.machine.platforms`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["MachineSpec"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Architectural parameters of one simulated platform."""
+
+    name: str
+    codename: str
+
+    # topology / clock
+    cores: int
+    smt: int
+    freq_ghz: float
+
+    # memory hierarchy
+    l1_kib: int
+    l2_kib_per_core: float
+    llc_mib: float              # shared last-level capacity (aggregate L2 on Phi)
+    line_bytes: int
+
+    # bandwidth / latency (STREAM triad numbers as in paper Table III)
+    bw_main_gbs: float
+    bw_llc_gbs: float
+    mem_latency_ns: float       # full miss to DRAM
+    llc_hit_latency_ns: float   # remote-L2 / L3 hit (still expensive on Phi)
+
+    # core microarchitecture (core cycles; see module docstring)
+    simd_doubles: int
+    inorder: bool
+    scalar_cycles_per_nnz: float    # baseline scalar inner-loop cost
+    row_overhead_cycles: float      # loop bookkeeping per row (scalar)
+    vec_row_overhead_cycles: float  # loop bookkeeping per row (vectorized)
+    vec_iter_base_cycles: float     # per-SIMD-iteration fixed cost
+    gather_cycles_per_elem: float   # x-gather cost per element (vector)
+    unroll_speedup: float           # ILP gain of unrolling on long rows
+    prefetch_issue_cycles: float    # extra cycles/nnz to issue sw prefetch
+    decode_cycles_per_nnz: float    # delta-index decode cost
+
+    # latency-hiding capability
+    hw_prefetch_eff: float          # fraction of strided misses hidden by hw
+    mlp: float                      # outstanding misses per thread (baseline)
+    mlp_prefetch: float             # with software prefetching
+
+    # parallel runtime overhead (fork/join + barrier per kernel launch)
+    barrier_us_base: float
+    barrier_us_per_thread: float
+
+    def __post_init__(self) -> None:
+        for fieldname in (
+            "cores", "smt", "freq_ghz", "l1_kib", "l2_kib_per_core",
+            "llc_mib", "line_bytes", "bw_main_gbs", "bw_llc_gbs",
+            "mem_latency_ns", "llc_hit_latency_ns", "simd_doubles",
+            "scalar_cycles_per_nnz", "row_overhead_cycles",
+            "vec_row_overhead_cycles", "vec_iter_base_cycles",
+            "gather_cycles_per_elem", "unroll_speedup", "mlp",
+            "mlp_prefetch",
+        ):
+            if getattr(self, fieldname) <= 0:
+                raise ValueError(f"{fieldname} must be positive")
+        if not 0.0 <= self.hw_prefetch_eff <= 1.0:
+            raise ValueError("hw_prefetch_eff must be in [0, 1]")
+
+    # -- derived quantities -------------------------------------------
+
+    @property
+    def total_threads(self) -> int:
+        """Hardware threads available (the paper uses all of them)."""
+        return self.cores * self.smt
+
+    @property
+    def llc_bytes(self) -> int:
+        return int(self.llc_mib * (1 << 20))
+
+    @property
+    def l2_bytes_per_core(self) -> int:
+        return int(self.l2_kib_per_core * 1024)
+
+    @property
+    def line_elems(self) -> int:
+        """float64 elements per cache line."""
+        return self.line_bytes // 8
+
+    @property
+    def freq_hz(self) -> float:
+        return self.freq_ghz * 1e9
+
+    def bandwidth_for_working_set(self, ws_bytes: float) -> float:
+        """Sustainable bandwidth (bytes/s) for a given working set.
+
+        Implements the paper's footnote: bandwidth is "adjusted upwards
+        for matrices that fit in the system's cache hierarchy". A
+        smooth ramp between 0.5x and 1.0x LLC capacity avoids a
+        discontinuity at exactly the cache size.
+        """
+        main = self.bw_main_gbs * 1e9
+        llc = self.bw_llc_gbs * 1e9
+        lo, hi = 0.5 * self.llc_bytes, float(self.llc_bytes)
+        if ws_bytes <= lo:
+            return llc
+        if ws_bytes >= hi:
+            return main
+        frac = (ws_bytes - lo) / (hi - lo)
+        return llc + frac * (main - llc)
+
+    def parallel_overhead_seconds(self, nthreads: int) -> float:
+        """Fork/join + barrier cost of one parallel kernel launch."""
+        return (
+            self.barrier_us_base + self.barrier_us_per_thread * nthreads
+        ) * 1e-6
+
+    def with_(self, **overrides) -> "MachineSpec":
+        """A copy with some parameters replaced (for ablations)."""
+        return replace(self, **overrides)

@@ -1,0 +1,55 @@
+"""Matrix corpus: generators, named suite, training suite, features, I/O."""
+
+from . import generators
+from .features import (
+    FEATURE_COMPLEXITY,
+    FEATURE_NAMES,
+    ON_FEATURES,
+    ONNZ_FEATURES,
+    PAPER_ON_SUBSET,
+    PAPER_ONNZ_SUBSET,
+    FeatureVector,
+    extract_features,
+    feature_matrix,
+    features_with_complexity,
+    spmv_working_set_bytes,
+)
+from .mmio import MatrixMarketError, read_matrix_market, write_matrix_market
+from .named_suite import (
+    NAMED_SUITE,
+    NamedMatrixSpec,
+    load_suite,
+    named_matrix,
+    suite_names,
+)
+from .stats import MatrixStats, gini_coefficient, matrix_stats
+from .training import TRAINING_FAMILIES, TrainingMatrix, training_suite
+
+__all__ = [
+    "generators",
+    "FeatureVector",
+    "extract_features",
+    "feature_matrix",
+    "features_with_complexity",
+    "spmv_working_set_bytes",
+    "FEATURE_NAMES",
+    "FEATURE_COMPLEXITY",
+    "ON_FEATURES",
+    "ONNZ_FEATURES",
+    "PAPER_ON_SUBSET",
+    "PAPER_ONNZ_SUBSET",
+    "read_matrix_market",
+    "write_matrix_market",
+    "MatrixMarketError",
+    "NamedMatrixSpec",
+    "NAMED_SUITE",
+    "named_matrix",
+    "suite_names",
+    "load_suite",
+    "MatrixStats",
+    "matrix_stats",
+    "gini_coefficient",
+    "TrainingMatrix",
+    "training_suite",
+    "TRAINING_FAMILIES",
+]

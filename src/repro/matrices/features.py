@@ -1,0 +1,241 @@
+"""Structural feature extraction (paper Table II).
+
+Features are grouped by extraction complexity exactly as in the paper:
+
+* ``O(1)``: ``size`` (working set fits in LLC), ``density``;
+* ``O(N)``: statistics of per-row nonzero counts and bandwidths,
+  plus the derived ``scatter``/``dispersion`` statistics;
+* ``O(NNZ)``: ``clustering_avg`` and ``misses_avg``, which need a pass
+  over the column indices.
+
+The feature-guided classifier of the paper consumes subsets of these;
+Table IV reports one ``O(N)`` and one ``O(NNZ)`` subset. The paper's
+``dispersion`` features (Table IV) are the ``scatter`` statistics of
+Table II under their alternative name; we expose both spellings.
+
+Deviation noted for reproducibility: the paper defines
+``scatter_i = nnz_i / bw_i`` which is undefined for rows with a single
+nonzero (``bw_i = 0``); we use ``nnz_i / (bw_i + 1)``, which equals 1
+for a fully dense run and is defined everywhere. Empty rows contribute
+0 to all per-row averages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..formats import CSRMatrix
+
+__all__ = [
+    "FeatureVector",
+    "extract_features",
+    "feature_matrix",
+    "FEATURE_NAMES",
+    "FEATURE_COMPLEXITY",
+    "features_with_complexity",
+    "O1_FEATURES",
+    "ON_FEATURES",
+    "ONNZ_FEATURES",
+    "PAPER_ON_SUBSET",
+    "PAPER_ONNZ_SUBSET",
+]
+
+#: Canonical feature ordering used throughout the library.
+FEATURE_NAMES: tuple[str, ...] = (
+    "size",
+    "density",
+    "nnz_min",
+    "nnz_max",
+    "nnz_avg",
+    "nnz_sd",
+    "bw_min",
+    "bw_max",
+    "bw_avg",
+    "bw_sd",
+    "scatter_avg",
+    "scatter_sd",
+    "clustering_avg",
+    "misses_avg",
+)
+
+#: Extraction complexity class of each feature (paper Table II).
+FEATURE_COMPLEXITY: dict[str, str] = {
+    "size": "O(1)",
+    "density": "O(1)",
+    "nnz_min": "O(N)",
+    "nnz_max": "O(N)",
+    "nnz_avg": "O(N)",
+    "nnz_sd": "O(N)",
+    "bw_min": "O(N)",
+    "bw_max": "O(N)",
+    "bw_avg": "O(N)",
+    "bw_sd": "O(N)",
+    "scatter_avg": "O(N)",
+    "scatter_sd": "O(N)",
+    "clustering_avg": "O(NNZ)",
+    "misses_avg": "O(NNZ)",
+}
+
+O1_FEATURES = tuple(f for f in FEATURE_NAMES if FEATURE_COMPLEXITY[f] == "O(1)")
+ON_FEATURES = tuple(f for f in FEATURE_NAMES if FEATURE_COMPLEXITY[f] == "O(N)")
+ONNZ_FEATURES = tuple(
+    f for f in FEATURE_NAMES if FEATURE_COMPLEXITY[f] == "O(NNZ)"
+)
+
+#: The O(N)-complexity classifier feature subset of paper Table IV
+#: (nnz_{min,max,sd}, bw_avg, dispersion_{avg,sd}).
+PAPER_ON_SUBSET = (
+    "nnz_min", "nnz_max", "nnz_sd", "bw_avg", "scatter_avg", "scatter_sd",
+)
+
+#: The O(NNZ)-complexity classifier feature subset of paper Table IV
+#: (size, bw_{avg,sd}, nnz_{min,max,avg,sd}, misses_avg, dispersion_sd).
+PAPER_ONNZ_SUBSET = (
+    "size", "bw_avg", "bw_sd", "nnz_min", "nnz_max", "nnz_avg", "nnz_sd",
+    "misses_avg", "scatter_sd",
+)
+
+_ALIASES = {"dispersion_avg": "scatter_avg", "dispersion_sd": "scatter_sd"}
+
+
+def canonical_feature_name(name: str) -> str:
+    """Resolve paper aliases (``dispersion_*``) to canonical names."""
+    name = _ALIASES.get(name, name)
+    if name not in FEATURE_NAMES:
+        raise ValueError(f"unknown feature {name!r}")
+    return name
+
+
+@dataclass(frozen=True)
+class FeatureVector:
+    """All Table II features of one matrix, keyed access included."""
+
+    size: float
+    density: float
+    nnz_min: float
+    nnz_max: float
+    nnz_avg: float
+    nnz_sd: float
+    bw_min: float
+    bw_max: float
+    bw_avg: float
+    bw_sd: float
+    scatter_avg: float
+    scatter_sd: float
+    clustering_avg: float
+    misses_avg: float
+
+    def __getitem__(self, name: str) -> float:
+        return float(getattr(self, canonical_feature_name(name)))
+
+    def as_array(self, names: tuple[str, ...] = FEATURE_NAMES) -> np.ndarray:
+        """Feature values in ``names`` order as a float64 vector."""
+        return np.array([self[n] for n in names], dtype=np.float64)
+
+    def as_dict(self) -> dict[str, float]:
+        return {n: self[n] for n in FEATURE_NAMES}
+
+
+def spmv_working_set_bytes(csr: CSRMatrix) -> int:
+    """Bytes touched by one CSR SpMV: matrix + x + y."""
+    return csr.total_nbytes() + 8 * (csr.ncols + csr.nrows)
+
+
+def extract_features(
+    csr: CSRMatrix,
+    *,
+    llc_bytes: int = 32 * 1024 * 1024,
+    line_elems: int = 8,
+) -> FeatureVector:
+    """Extract the full Table II feature vector of ``csr``.
+
+    Parameters
+    ----------
+    llc_bytes
+        Last-level-cache capacity used by the binary ``size`` feature.
+    line_elems
+        Number of float64 elements per cache line (64-byte line -> 8),
+        used by the naive ``misses`` estimate.
+    """
+    n = csr.nrows
+    nnz = csr.row_nnz().astype(np.float64)
+    bw = csr.row_bandwidths().astype(np.float64)
+
+    size = 1.0 if spmv_working_set_bytes(csr) <= llc_bytes else 0.0
+    density = csr.nnz / float(csr.nrows) / float(csr.ncols)
+
+    scatter = np.where(nnz > 0, nnz / (bw + 1.0), 0.0)
+
+    gaps = csr.column_gaps()
+    # Per-nonzero indicators, folded back to rows with segment sums.
+    # A "group" starts wherever the gap to the in-row predecessor is not
+    # exactly 1 (the first element of a row has gap 0, starting a group).
+    new_group = (gaps != 1).astype(np.float64)
+    ngroups = _row_sums(new_group, csr.rowptr)
+    clustering = np.where(nnz > 0, ngroups / np.maximum(nnz, 1.0), 0.0)
+
+    # Naive per-row miss estimate (paper): an element "can generate a
+    # cache miss" when its distance from the in-row predecessor exceeds
+    # the elements per cache line. Row-first elements are not counted.
+    miss_flag = (gaps > line_elems).astype(np.float64)
+    misses = _row_sums(miss_flag, csr.rowptr)
+
+    def _sd(x: np.ndarray) -> float:
+        # Population standard deviation, as written in Table II.
+        return float(np.sqrt(np.mean((x - x.mean()) ** 2))) if x.size else 0.0
+
+    return FeatureVector(
+        size=size,
+        density=float(density),
+        nnz_min=float(nnz.min(initial=0.0)) if n else 0.0,
+        nnz_max=float(nnz.max(initial=0.0)) if n else 0.0,
+        nnz_avg=float(nnz.mean()) if n else 0.0,
+        nnz_sd=_sd(nnz),
+        bw_min=float(bw.min(initial=0.0)) if n else 0.0,
+        bw_max=float(bw.max(initial=0.0)) if n else 0.0,
+        bw_avg=float(bw.mean()) if n else 0.0,
+        bw_sd=_sd(bw),
+        scatter_avg=float(scatter.mean()) if n else 0.0,
+        scatter_sd=_sd(scatter),
+        clustering_avg=float(clustering.mean()) if n else 0.0,
+        misses_avg=float(misses.mean()) if n else 0.0,
+    )
+
+
+def feature_matrix(
+    matrices, names: tuple[str, ...] = FEATURE_NAMES, **kwargs
+) -> np.ndarray:
+    """Stack :func:`extract_features` of many matrices into (k, f)."""
+    names = tuple(canonical_feature_name(n) for n in names)
+    return np.array(
+        [extract_features(m, **kwargs).as_array(names) for m in matrices]
+    )
+
+
+def features_with_complexity(max_complexity: str) -> tuple[str, ...]:
+    """All features extractable within ``max_complexity``.
+
+    ``max_complexity`` is one of ``"O(1)"``, ``"O(N)"``, ``"O(NNZ)"``;
+    cheaper classes are always included.
+    """
+    order = {"O(1)": 0, "O(N)": 1, "O(NNZ)": 2}
+    if max_complexity not in order:
+        raise ValueError(f"unknown complexity class {max_complexity!r}")
+    cap = order[max_complexity]
+    return tuple(
+        f for f in FEATURE_NAMES if order[FEATURE_COMPLEXITY[f]] <= cap
+    )
+
+
+def _row_sums(per_nnz: np.ndarray, rowptr: np.ndarray) -> np.ndarray:
+    """Sum a per-nonzero quantity within each row."""
+    out = np.zeros(rowptr.size - 1, dtype=np.float64)
+    if per_nnz.size == 0:
+        return out
+    lengths = np.diff(rowptr)
+    nonempty = np.flatnonzero(lengths > 0)
+    if nonempty.size:
+        out[nonempty] = np.add.reduceat(per_nnz, rowptr[nonempty])
+    return out

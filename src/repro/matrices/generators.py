@@ -1,0 +1,353 @@
+"""Synthetic sparse-matrix generators (system S2 in DESIGN.md).
+
+The paper evaluates on matrices from the University of Florida Sparse
+Matrix Collection. That collection is not available offline, so these
+generators synthesize the *structural archetypes* the paper's
+classifier actually reacts to:
+
+* regular banded / stencil / FEM matrices (memory-bandwidth bound),
+* uniformly scattered matrices (memory-latency bound),
+* power-law graphs with skewed row lengths (imbalance),
+* circuit/LP matrices with a few ultra-dense rows (imbalance+compute),
+* mostly-short-row web crawls (loop-overhead / compute bound),
+* small matrices that fit in cache (compute bound).
+
+Every generator is deterministic given its ``seed`` and returns a
+canonical :class:`~repro.formats.csr.CSRMatrix`. All construction is
+vectorized; no per-row Python loops on the nonzero path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive
+from ..formats import COOMatrix, CSRMatrix
+
+__all__ = [
+    "banded",
+    "stencil27",
+    "fem_like",
+    "random_uniform",
+    "power_law",
+    "with_dense_rows",
+    "short_rows",
+    "kronecker_graph",
+    "diagonal_blocks",
+    "laplacian_1d",
+    "poisson2d",
+    "vstack",
+]
+
+
+def _to_csr(rows, cols, n, m, rng, values=None) -> CSRMatrix:
+    """Assemble triplets into CSR; duplicates are merged (summed)."""
+    if values is None:
+        values = rng.uniform(0.5, 1.5, size=len(rows))
+    return CSRMatrix.from_coo(COOMatrix(rows, cols, values, (n, m)))
+
+
+def _row_repeat(row_nnz: np.ndarray) -> np.ndarray:
+    """Expand per-row counts into a row index per nonzero."""
+    return np.repeat(np.arange(row_nnz.size, dtype=np.int64), row_nnz)
+
+
+def banded(n: int, nnz_per_row: int = 9, bandwidth: int | None = None,
+           jitter: float = 0.0, seed: int = 0) -> CSRMatrix:
+    """Regular banded matrix (FEM-like, MB archetype).
+
+    Each row gets ``nnz_per_row`` nonzeros evenly spaced in a band of
+    ``bandwidth`` columns centred on the diagonal; ``jitter`` (in
+    columns) perturbs the positions to avoid perfectly constant deltas.
+    """
+    check_positive("n", n)
+    check_positive("nnz_per_row", nnz_per_row)
+    if bandwidth is None:
+        bandwidth = max(2 * nnz_per_row, 4)
+    rng = np.random.default_rng(seed)
+    offsets = np.linspace(-bandwidth / 2, bandwidth / 2, nnz_per_row)
+    rows = _row_repeat(np.full(n, nnz_per_row, dtype=np.int64))
+    cols = np.add.outer(np.arange(n), offsets).ravel()
+    if jitter > 0:
+        cols = cols + rng.normal(0.0, jitter, size=cols.size)
+    cols = np.clip(np.rint(cols), 0, n - 1).astype(np.int64)
+    return _to_csr(rows, cols, n, n, rng)
+
+
+def laplacian_1d(n: int) -> CSRMatrix:
+    """Tridiagonal 1-D Laplacian — the canonical SPD test matrix."""
+    check_positive("n", n)
+    i = np.arange(n, dtype=np.int64)
+    rows = np.concatenate([i, i[1:], i[:-1]])
+    cols = np.concatenate([i, i[1:] - 1, i[:-1] + 1])
+    vals = np.concatenate([
+        np.full(n, 2.0), np.full(n - 1, -1.0), np.full(n - 1, -1.0)
+    ])
+    return CSRMatrix.from_coo(COOMatrix(rows, cols, vals, (n, n)))
+
+
+def poisson2d(nx: int, ny: int | None = None) -> CSRMatrix:
+    """5-point 2-D Poisson operator on an ``nx`` x ``ny`` grid (SPD)."""
+    check_positive("nx", nx)
+    ny = nx if ny is None else ny
+    check_positive("ny", ny)
+    n = nx * ny
+    idx = np.arange(n, dtype=np.int64)
+    ix, iy = idx % nx, idx // nx
+    rows = [idx]
+    cols = [idx]
+    vals = [np.full(n, 4.0)]
+    for mask, off in (
+        (ix > 0, -1),
+        (ix < nx - 1, +1),
+        (iy > 0, -nx),
+        (iy < ny - 1, +nx),
+    ):
+        rows.append(idx[mask])
+        cols.append(idx[mask] + off)
+        vals.append(np.full(int(mask.sum()), -1.0))
+    return CSRMatrix.from_coo(
+        COOMatrix(np.concatenate(rows), np.concatenate(cols),
+                  np.concatenate(vals), (n, n))
+    )
+
+
+def stencil27(nx: int, ny: int | None = None, nz: int | None = None,
+              seed: int = 0) -> CSRMatrix:
+    """27-point 3-D stencil (consph/boneS10 archetype: regular, ~27 nnz/row)."""
+    check_positive("nx", nx)
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    n = nx * ny * nz
+    rng = np.random.default_rng(seed)
+    idx = np.arange(n, dtype=np.int64)
+    ix = idx % nx
+    iy = (idx // nx) % ny
+    iz = idx // (nx * ny)
+    rows_list, cols_list = [], []
+    for dz in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            for dx in (-1, 0, 1):
+                jx, jy, jz = ix + dx, iy + dy, iz + dz
+                ok = (
+                    (jx >= 0) & (jx < nx)
+                    & (jy >= 0) & (jy < ny)
+                    & (jz >= 0) & (jz < nz)
+                )
+                rows_list.append(idx[ok])
+                cols_list.append((jx + nx * (jy + ny * jz))[ok])
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    return _to_csr(rows, cols, n, n, rng)
+
+
+def fem_like(n: int, block: int = 3, neighbors: int = 8,
+             reach: int | None = None, seed: int = 0) -> CSRMatrix:
+    """Block-structured FEM matrix: dense ``block``-sized couplings with
+    a handful of neighbor blocks within a limited ``reach`` (in blocks).
+
+    Produces the clustered, medium-bandwidth structure of matrices like
+    *consph* or *offshore* (with larger ``reach`` the structure gets
+    more irregular and latency-prone).
+    """
+    check_positive("n", n)
+    check_positive("block", block)
+    rng = np.random.default_rng(seed)
+    nblocks = max(n // block, 1)
+    n = nblocks * block
+    if reach is None:
+        reach = 4 * neighbors
+    # Each block row couples to `neighbors` block columns nearby.
+    brow = _row_repeat(np.full(nblocks, neighbors, dtype=np.int64))
+    offs = rng.integers(-reach, reach + 1, size=brow.size)
+    bcol = np.clip(brow + offs, 0, nblocks - 1)
+    # Expand each block pair into a dense block x block patch.
+    di, dj = np.meshgrid(np.arange(block), np.arange(block), indexing="ij")
+    rows = (brow[:, None] * block + di.ravel()[None, :]).ravel()
+    cols = (bcol[:, None] * block + dj.ravel()[None, :]).ravel()
+    # Always include the diagonal block.
+    idx = np.arange(n, dtype=np.int64)
+    blk = idx // block * block
+    drows = np.repeat(idx, block)
+    dcols = (blk[:, None] + np.arange(block)[None, :]).ravel()
+    rows = np.concatenate([rows, drows])
+    cols = np.concatenate([cols, dcols])
+    return _to_csr(rows, cols, n, n, rng)
+
+
+def random_uniform(n: int, nnz_per_row: float = 16.0, seed: int = 0,
+                   ncols: int | None = None) -> CSRMatrix:
+    """Uniformly scattered matrix (ML archetype: no locality in x).
+
+    Row lengths are Poisson-distributed around ``nnz_per_row``; column
+    indices are uniform over all columns, which defeats both spatial
+    reuse and hardware prefetching of the right-hand-side vector.
+    """
+    check_positive("n", n)
+    check_positive("nnz_per_row", nnz_per_row)
+    m = n if ncols is None else ncols
+    rng = np.random.default_rng(seed)
+    row_nnz = rng.poisson(nnz_per_row, size=n).astype(np.int64)
+    rows = _row_repeat(row_nnz)
+    cols = rng.integers(0, m, size=rows.size)
+    return _to_csr(rows, cols, n, m, rng)
+
+
+def power_law(n: int, avg_deg: float = 10.0, alpha: float = 2.1,
+              max_deg: int | None = None, hub_cols: bool = True,
+              seed: int = 0) -> CSRMatrix:
+    """Power-law (scale-free) graph adjacency (web/citation archetype).
+
+    Row lengths follow a truncated Pareto with tail exponent ``alpha``
+    scaled to hit ``avg_deg`` on average; with ``hub_cols`` the column
+    endpoints are also skewed toward hub vertices, as in real graphs.
+    Highly uneven rows trigger the IMB class; scattered columns also
+    expose latency.
+    """
+    check_positive("n", n)
+    check_positive("avg_deg", avg_deg)
+    if alpha <= 1.0:
+        raise ValueError(f"alpha must be > 1, got {alpha}")
+    rng = np.random.default_rng(seed)
+    if max_deg is None:
+        max_deg = max(int(n * 0.5), 4)
+    # Pareto(alpha-1) has mean (alpha-1)/(alpha-2) for alpha > 2; just
+    # draw and rescale empirically, which also handles alpha <= 2.
+    raw = (1.0 + rng.pareto(alpha - 1.0, size=n))
+    raw = np.minimum(raw, max_deg)
+    row_nnz = np.maximum(
+        np.rint(raw * (avg_deg / raw.mean())), 1
+    ).astype(np.int64)
+    row_nnz = np.minimum(row_nnz, n)
+    rows = _row_repeat(row_nnz)
+    if hub_cols:
+        # Column popularity ~ Zipf over a permuted vertex order.
+        ranks = rng.permutation(n).astype(np.float64) + 1.0
+        weights = ranks ** (-1.0 / (alpha - 1.0))
+        weights /= weights.sum()
+        cols = rng.choice(n, size=rows.size, p=weights)
+    else:
+        cols = rng.integers(0, n, size=rows.size)
+    return _to_csr(rows, cols, n, n, rng)
+
+
+def with_dense_rows(base: CSRMatrix, n_dense: int, dense_nnz: int,
+                    seed: int = 0) -> CSRMatrix:
+    """Inject ``n_dense`` ultra-dense rows into ``base``.
+
+    Models circuit-simulation and LP matrices (*ASIC_680k*, *rajat30*,
+    *FullChip*, *degme*): the bulk of the matrix is sparse but a few
+    rows concentrate a large share of the nonzeros, which row
+    partitioning cannot balance.
+    """
+    check_positive("n_dense", n_dense)
+    check_positive("dense_nnz", dense_nnz)
+    rng = np.random.default_rng(seed)
+    n, m = base.shape
+    dense_nnz = min(dense_nnz, m)
+    target = rng.choice(n, size=min(n_dense, n), replace=False)
+    rows = np.repeat(target.astype(np.int64), dense_nnz)
+    cols = rng.integers(0, m, size=rows.size)
+    base_coo = base.to_coo()
+    all_rows = np.concatenate([base_coo.rows, rows])
+    all_cols = np.concatenate([base_coo.cols, cols])
+    all_vals = np.concatenate([
+        base_coo.values, rng.uniform(0.5, 1.5, size=rows.size)
+    ])
+    return CSRMatrix.from_coo(COOMatrix(all_rows, all_cols, all_vals, (n, m)))
+
+
+def short_rows(n: int, avg_nnz: float = 3.0, frac_empty: float = 0.1,
+               locality: float = 0.5, seed: int = 0) -> CSRMatrix:
+    """Mostly 1-4 nnz rows (webbase archetype: loop overhead dominates).
+
+    ``locality`` in [0, 1] blends between diagonal-local columns (1.0)
+    and uniformly random columns (0.0).
+    """
+    check_positive("n", n)
+    rng = np.random.default_rng(seed)
+    row_nnz = rng.poisson(avg_nnz, size=n).astype(np.int64)
+    row_nnz[rng.random(n) < frac_empty] = 0
+    rows = _row_repeat(row_nnz)
+    local = np.clip(
+        rows + rng.integers(-32, 33, size=rows.size), 0, n - 1
+    )
+    uniform = rng.integers(0, n, size=rows.size)
+    use_local = rng.random(rows.size) < locality
+    cols = np.where(use_local, local, uniform)
+    return _to_csr(rows, cols, n, n, rng)
+
+
+def kronecker_graph(scale: int, edge_factor: int = 16,
+                    a: float = 0.57, b: float = 0.19, c: float = 0.19,
+                    seed: int = 0) -> CSRMatrix:
+    """R-MAT/Kronecker graph (Graph500 style), 2**scale vertices.
+
+    Produces the heavy-tailed, community-structured adjacency typical
+    of social networks (*flickr* archetype).
+    """
+    check_positive("scale", scale)
+    check_positive("edge_factor", edge_factor)
+    if not (0 < a + b + c < 1):
+        raise ValueError("a + b + c must lie in (0, 1)")
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    nedges = n * edge_factor
+    rows = np.zeros(nedges, dtype=np.int64)
+    cols = np.zeros(nedges, dtype=np.int64)
+    ab, abc = a + b, a + b + c
+    for _ in range(scale):
+        r = rng.random(nedges)
+        bit_r = (r >= ab).astype(np.int64)          # bottom half of rows
+        r2 = rng.random(nedges)
+        # Column bit distribution depends on the row bit.
+        top = np.where(bit_r == 0, a / ab, c / (abc - ab + (1 - abc)))
+        bit_c = (r2 >= top).astype(np.int64)
+        rows = (rows << 1) | bit_r
+        cols = (cols << 1) | bit_c
+    return _to_csr(rows, cols, n, n, rng)
+
+
+def vstack(matrices) -> CSRMatrix:
+    """Stack CSR matrices vertically (rows concatenated).
+
+    All inputs must share the column count. This is how *regionally
+    heterogeneous* matrices are built: e.g. a locally-banded region on
+    top of a scattered region gives equal-nnz thread partitions very
+    different execution costs — the paper's second IMB subcategory
+    ("regions with completely different sparsity patterns").
+    """
+    matrices = list(matrices)
+    if not matrices:
+        raise ValueError("vstack needs at least one matrix")
+    ncols = matrices[0].ncols
+    for m in matrices:
+        if m.ncols != ncols:
+            raise ValueError("all matrices must have the same column count")
+    rowptr_parts = [matrices[0].rowptr]
+    for m in matrices[1:]:
+        rowptr_parts.append(m.rowptr[1:] + rowptr_parts[-1][-1])
+    return CSRMatrix(
+        np.concatenate(rowptr_parts),
+        np.concatenate([m.colind for m in matrices]),
+        np.concatenate([m.values for m in matrices]),
+        (sum(m.nrows for m in matrices), ncols),
+    )
+
+
+def diagonal_blocks(n: int, block: int = 64, fill: float = 0.6,
+                    seed: int = 0) -> CSRMatrix:
+    """Block-diagonal matrix with dense-ish blocks (cache-friendly CMP
+    archetype when small: high operational intensity, no scatter)."""
+    check_positive("n", n)
+    check_positive("block", block)
+    rng = np.random.default_rng(seed)
+    nblocks = max(n // block, 1)
+    n = nblocks * block
+    per_block = max(int(fill * block * block), 1)
+    bids = _row_repeat(np.full(nblocks, per_block, dtype=np.int64))
+    local_r = rng.integers(0, block, size=bids.size)
+    local_c = rng.integers(0, block, size=bids.size)
+    rows = bids * block + local_r
+    cols = bids * block + local_c
+    return _to_csr(rows, cols, n, n, rng)

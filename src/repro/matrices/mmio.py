@@ -1,0 +1,109 @@
+"""Matrix Market I/O (own implementation, no scipy dependency).
+
+Supports the subset of the format used by the University of Florida /
+SuiteSparse collection that the paper draws its matrices from:
+``matrix coordinate {real,integer,pattern} {general,symmetric}``.
+Symmetric matrices are expanded to general on read (off-diagonal
+entries mirrored), matching how SpMV benchmarks consume them.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from ..formats import COOMatrix, CSRMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market", "MatrixMarketError"]
+
+
+class MatrixMarketError(ValueError):
+    """Raised on malformed Matrix Market input."""
+
+
+_FIELDS = {"real", "integer", "pattern"}
+_SYMMETRIES = {"general", "symmetric", "skew-symmetric"}
+
+
+def read_matrix_market(source) -> CSRMatrix:
+    """Read a Matrix Market file (path, file object, or text) into CSR."""
+    if isinstance(source, (str, Path)) and "\n" not in str(source):
+        with open(source, "r", encoding="utf-8") as fh:
+            return _read(fh)
+    if isinstance(source, str):
+        return _read(io.StringIO(source))
+    return _read(source)
+
+
+def _read(fh) -> CSRMatrix:
+    header = fh.readline()
+    if not header.startswith("%%MatrixMarket"):
+        raise MatrixMarketError("missing %%MatrixMarket header")
+    parts = header.strip().split()
+    if len(parts) != 5:
+        raise MatrixMarketError(f"malformed header: {header.strip()!r}")
+    _, obj, fmt, field, symmetry = (p.lower() for p in parts)
+    if obj != "matrix" or fmt != "coordinate":
+        raise MatrixMarketError(
+            f"only 'matrix coordinate' is supported, got {obj!r} {fmt!r}"
+        )
+    if field not in _FIELDS:
+        raise MatrixMarketError(f"unsupported field {field!r}")
+    if symmetry not in _SYMMETRIES:
+        raise MatrixMarketError(f"unsupported symmetry {symmetry!r}")
+
+    # Skip comments, read the size line.
+    line = fh.readline()
+    while line.startswith("%"):
+        line = fh.readline()
+    try:
+        nrows, ncols, nnz = (int(tok) for tok in line.split())
+    except Exception as exc:
+        raise MatrixMarketError(f"malformed size line: {line!r}") from exc
+
+    body = np.loadtxt(fh, ndmin=2) if nnz else np.zeros((0, 3))
+    if body.shape[0] != nnz:
+        raise MatrixMarketError(
+            f"expected {nnz} entries, found {body.shape[0]}"
+        )
+    expected_cols = 2 if field == "pattern" else 3
+    if nnz and body.shape[1] != expected_cols:
+        raise MatrixMarketError(
+            f"expected {expected_cols} columns per entry, got {body.shape[1]}"
+        )
+    rows = body[:, 0].astype(np.int64) - 1
+    cols = body[:, 1].astype(np.int64) - 1
+    if field == "pattern":
+        values = np.ones(nnz, dtype=np.float64)
+    else:
+        values = body[:, 2].astype(np.float64)
+
+    if symmetry in ("symmetric", "skew-symmetric"):
+        off = rows != cols
+        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        rows = np.concatenate([rows, cols[off]])
+        cols = np.concatenate([cols, body[:, 0].astype(np.int64)[off] - 1])
+        values = np.concatenate([values, sign * values[off]])
+
+    return CSRMatrix.from_coo(COOMatrix(rows, cols, values, (nrows, ncols)))
+
+
+def write_matrix_market(csr: CSRMatrix, target, comment: str | None = None) -> None:
+    """Write ``csr`` as 'matrix coordinate real general' (1-based)."""
+    own = isinstance(target, (str, Path))
+    fh = open(target, "w", encoding="utf-8") if own else target
+    try:
+        fh.write("%%MatrixMarket matrix coordinate real general\n")
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"% {line}\n")
+        fh.write(f"{csr.nrows} {csr.ncols} {csr.nnz}\n")
+        rows = csr.row_ids_per_nnz() + 1
+        cols = csr.colind.astype(np.int64) + 1
+        for r, c, v in zip(rows, cols, csr.values):
+            fh.write(f"{r} {c} {float(v)!r}\n")
+    finally:
+        if own:
+            fh.close()

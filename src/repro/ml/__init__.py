@@ -1,0 +1,19 @@
+"""Machine-learning substrate (scikit-learn substitute, system S7)."""
+
+from .crossval import CVResult, k_fold, leave_one_out
+from .feature_search import SubsetScore, search_feature_subsets
+from .metrics import exact_match_ratio, partial_match_ratio, per_label_accuracy
+from .tree import DecisionTree, TreeNode
+
+__all__ = [
+    "DecisionTree",
+    "TreeNode",
+    "exact_match_ratio",
+    "partial_match_ratio",
+    "per_label_accuracy",
+    "CVResult",
+    "leave_one_out",
+    "k_fold",
+    "SubsetScore",
+    "search_feature_subsets",
+]

@@ -1,0 +1,85 @@
+"""Exhaustive feature-subset search (paper: "The selection of features
+for the classifiers has been a result of exhaustive search").
+
+Given the full feature matrix, enumerate subsets (optionally capped in
+size and restricted to an extraction-complexity budget) and rank them by
+cross-validated exact-match accuracy, breaking ties toward cheaper and
+smaller subsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .crossval import CVResult, k_fold, leave_one_out
+from .tree import DecisionTree
+
+__all__ = ["SubsetScore", "search_feature_subsets"]
+
+
+@dataclass(frozen=True)
+class SubsetScore:
+    """One evaluated feature subset."""
+
+    features: tuple[str, ...]
+    result: CVResult
+
+    @property
+    def exact(self) -> float:
+        return self.result.exact_match
+
+    @property
+    def partial(self) -> float:
+        return self.result.partial_match
+
+
+def search_feature_subsets(
+    X,
+    Y,
+    feature_names: Sequence[str],
+    *,
+    min_size: int = 2,
+    max_size: int = 6,
+    method: str = "kfold",
+    k: int = 10,
+    top: int = 10,
+    tree_factory: Callable[[], DecisionTree] | None = None,
+) -> list[SubsetScore]:
+    """Rank feature subsets by cross-validated accuracy.
+
+    ``method`` is ``"kfold"`` (fast screening) or ``"loo"`` (the paper's
+    protocol; expensive for many subsets). Returns the ``top`` subsets
+    sorted by exact match, then partial match, then smaller size.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    feature_names = tuple(feature_names)
+    if X.shape[1] != len(feature_names):
+        raise ValueError("feature_names must match X columns")
+    if not 1 <= min_size <= max_size <= len(feature_names):
+        raise ValueError("invalid subset size bounds")
+    if method not in ("kfold", "loo"):
+        raise ValueError(f"unknown method {method!r}")
+
+    scored: list[SubsetScore] = []
+    indices = range(len(feature_names))
+    for size in range(min_size, max_size + 1):
+        for combo in combinations(indices, size):
+            Xs = X[:, combo]
+            if method == "loo":
+                res = leave_one_out(Xs, Y, tree_factory)
+            else:
+                res = k_fold(Xs, Y, k=k, tree_factory=tree_factory)
+            scored.append(
+                SubsetScore(
+                    features=tuple(feature_names[i] for i in combo),
+                    result=res,
+                )
+            )
+    scored.sort(
+        key=lambda s: (-s.exact, -s.partial, len(s.features), s.features)
+    )
+    return scored[:top]

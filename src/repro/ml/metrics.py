@@ -1,0 +1,58 @@
+"""Multilabel classification metrics (paper Section IV-B).
+
+The paper scores its feature-guided classifier with two metrics:
+
+* **Exact Match Ratio** — fraction of samples whose predicted class
+  *set* equals the label set exactly;
+* **Partial Match Ratio** — a prediction counts as correct "if it
+  contains at least one correct class". Since at least one
+  optimization is applied per matrix, a partially correct set still
+  yields a useful optimization. The all-negative ("dummy", not worth
+  optimizing) labeling matches only itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["exact_match_ratio", "partial_match_ratio", "per_label_accuracy"]
+
+
+def _validate(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = (np.asarray(y_true) != 0).astype(np.int64)
+    y_pred = (np.asarray(y_pred) != 0).astype(np.int64)
+    if y_true.ndim == 1:
+        y_true = y_true[:, None]
+    if y_pred.ndim == 1:
+        y_pred = y_pred[:, None]
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.shape[0] == 0:
+        raise ValueError("need at least one sample")
+    return y_true, y_pred
+
+
+def exact_match_ratio(y_true, y_pred) -> float:
+    """Fraction of samples whose full label set is predicted exactly."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(np.all(y_true == y_pred, axis=1)))
+
+
+def partial_match_ratio(y_true, y_pred) -> float:
+    """Fraction with at least one correctly predicted *positive* class.
+
+    Samples whose true set is empty (the dummy class) are counted
+    correct only on an exactly empty prediction.
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    overlap = np.any((y_true == 1) & (y_pred == 1), axis=1)
+    both_empty = ~np.any(y_true, axis=1) & ~np.any(y_pred, axis=1)
+    return float(np.mean(overlap | both_empty))
+
+
+def per_label_accuracy(y_true, y_pred) -> np.ndarray:
+    """Per-label (column-wise) accuracy vector."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return np.mean(y_true == y_pred, axis=0)

@@ -1,0 +1,276 @@
+"""From-scratch CART decision tree with multilabel (multi-output) support.
+
+The paper trains its feature-guided classifier with scikit-learn's
+optimized CART and "adjusts it to perform multilabel classification".
+scikit-learn is unavailable offline, so this module implements the same
+algorithm: binary splits on real-valued features chosen by Gini
+impurity, where for multilabel targets the impurity is averaged over
+the label columns (exactly scikit-learn's multi-output strategy), and
+leaves predict the per-label majority.
+
+Training cost is O(n_features * n_samples * log n_samples) per level
+(sorting dominates), matching the complexity the paper quotes; query
+cost is O(depth) = O(log n_samples) for balanced trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DecisionTree", "TreeNode"]
+
+
+@dataclass
+class TreeNode:
+    """One node of a fitted tree (leaf when ``feature`` is None)."""
+
+    n_samples: int
+    label_means: np.ndarray            # per-label positive fraction
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+    impurity: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 0
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    def n_leaves(self) -> int:
+        if self.is_leaf:
+            return 1
+        return self.left.n_leaves() + self.right.n_leaves()
+
+
+def _gini(label_sums: np.ndarray, count: float) -> float:
+    """Mean binary Gini impurity across label columns."""
+    if count <= 0:
+        return 0.0
+    p = label_sums / count
+    return float(np.mean(2.0 * p * (1.0 - p)))
+
+
+@dataclass
+class DecisionTree:
+    """Multilabel CART classifier.
+
+    Parameters
+    ----------
+    max_depth
+        Maximum tree depth (None = grow until pure/too small).
+    min_samples_split
+        Minimum samples required to attempt a split.
+    min_samples_leaf
+        Minimum samples each child must retain.
+    min_impurity_decrease
+        Minimum weighted impurity decrease to accept a split.
+    """
+
+    max_depth: int | None = None
+    min_samples_split: int = 2
+    min_samples_leaf: int = 1
+    min_impurity_decrease: float = 0.0
+    root: TreeNode | None = field(default=None, repr=False, compare=False)
+    n_features_: int = field(default=0, compare=False)
+    n_labels_: int = field(default=0, compare=False)
+
+    # -- fitting -----------------------------------------------------------
+
+    def fit(self, X, Y) -> "DecisionTree":
+        """Fit on features ``X (n, f)`` and binary labels ``Y (n, L)``."""
+        X = np.asarray(X, dtype=np.float64)
+        Y = np.asarray(Y)
+        if Y.ndim == 1:
+            Y = Y[:, None]
+        Y = (Y != 0).astype(np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if Y.shape[0] != X.shape[0]:
+            raise ValueError("X and Y must have the same number of samples")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        if not np.all(np.isfinite(X)):
+            raise ValueError("X contains non-finite values")
+        self.n_features_ = X.shape[1]
+        self.n_labels_ = Y.shape[1]
+        self.root = self._grow(X, Y, depth=0)
+        return self
+
+    def _grow(self, X: np.ndarray, Y: np.ndarray, depth: int) -> TreeNode:
+        n = X.shape[0]
+        sums = Y.sum(axis=0)
+        impurity = _gini(sums, n)
+        node = TreeNode(
+            n_samples=n, label_means=sums / n, impurity=impurity
+        )
+        if (
+            impurity == 0.0
+            or n < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+        ):
+            return node
+
+        split = self._best_split(X, Y, impurity)
+        if split is None:
+            return node
+        feature, threshold, gain = split
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X[mask], Y[mask], depth + 1)
+        node.right = self._grow(X[~mask], Y[~mask], depth + 1)
+        return node
+
+    def _best_split(self, X: np.ndarray, Y: np.ndarray,
+                    parent_impurity: float):
+        """Exhaustive best (feature, threshold) by Gini decrease."""
+        n, f = X.shape
+        best = None
+        # Like scikit-learn, a split is acceptable when its impurity
+        # decrease reaches min_impurity_decrease — including zero-gain
+        # splits at the default of 0.0, which XOR-like targets need.
+        best_gain = self.min_impurity_decrease - 1e-12
+        for j in range(f):
+            order = np.argsort(X[:, j], kind="stable")
+            xs = X[order, j]
+            ys = Y[order]
+            # candidate split points: between distinct consecutive values
+            distinct = np.flatnonzero(np.diff(xs) > 0) + 1   # left sizes
+            if distinct.size == 0:
+                continue
+            left_sums = np.cumsum(ys, axis=0)
+            total = left_sums[-1]
+            for k in distinct:
+                if k < self.min_samples_leaf or n - k < self.min_samples_leaf:
+                    continue
+                li = _gini(left_sums[k - 1], k)
+                ri = _gini(total - left_sums[k - 1], n - k)
+                child = (k * li + (n - k) * ri) / n
+                gain = parent_impurity - child
+                if gain > best_gain:
+                    best_gain = gain
+                    threshold = 0.5 * (xs[k - 1] + xs[k])
+                    best = (j, float(threshold), gain)
+        return best
+
+    # -- prediction ---------------------------------------------------------
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Per-label positive fraction of the reached leaf, shape (n, L)."""
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, tree expects {self.n_features_}"
+            )
+        out = np.empty((X.shape[0], self.n_labels_), dtype=np.float64)
+        for i, row in enumerate(X):
+            node = self.root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.label_means
+        return out
+
+    def predict(self, X) -> np.ndarray:
+        """Binary multilabel prediction, shape (n, L)."""
+        return (self.predict_proba(X) >= 0.5).astype(np.int64)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
+        return self.root.depth()
+
+    @property
+    def n_leaves(self) -> int:
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
+        return self.root.n_leaves()
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation of the fitted tree."""
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
+
+        def encode(node: TreeNode) -> dict:
+            out = {
+                "n": node.n_samples,
+                "means": node.label_means.tolist(),
+                "impurity": node.impurity,
+            }
+            if not node.is_leaf:
+                out["feature"] = node.feature
+                out["threshold"] = node.threshold
+                out["left"] = encode(node.left)
+                out["right"] = encode(node.right)
+            return out
+
+        return {
+            "params": {
+                "max_depth": self.max_depth,
+                "min_samples_split": self.min_samples_split,
+                "min_samples_leaf": self.min_samples_leaf,
+                "min_impurity_decrease": self.min_impurity_decrease,
+            },
+            "n_features": self.n_features_,
+            "n_labels": self.n_labels_,
+            "root": encode(self.root),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DecisionTree":
+        """Rebuild a fitted tree from :meth:`to_dict` output."""
+
+        def decode(data: dict) -> TreeNode:
+            node = TreeNode(
+                n_samples=int(data["n"]),
+                label_means=np.asarray(data["means"], dtype=np.float64),
+                impurity=float(data["impurity"]),
+            )
+            if "feature" in data:
+                node.feature = int(data["feature"])
+                node.threshold = float(data["threshold"])
+                node.left = decode(data["left"])
+                node.right = decode(data["right"])
+            return node
+
+        tree = cls(**payload["params"])
+        tree.n_features_ = int(payload["n_features"])
+        tree.n_labels_ = int(payload["n_labels"])
+        tree.root = decode(payload["root"])
+        return tree
+
+    def feature_importances(self) -> np.ndarray:
+        """Impurity-decrease importances, normalized to sum to 1."""
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
+        imp = np.zeros(self.n_features_)
+
+        def walk(node: TreeNode) -> None:
+            if node.is_leaf:
+                return
+            child = (
+                node.left.n_samples * node.left.impurity
+                + node.right.n_samples * node.right.impurity
+            ) / node.n_samples
+            imp[node.feature] += node.n_samples * (node.impurity - child)
+            walk(node.left)
+            walk(node.right)
+
+        walk(self.root)
+        total = imp.sum()
+        return imp / total if total > 0 else imp

@@ -1,0 +1,24 @@
+"""Iterative solvers (system S9): the context that motivates
+lightweight SpMV autotuning."""
+
+from .base import SolveResult, as_matvec, identity_preconditioner
+from .bicgstab import bicgstab
+from .cg import cg
+from .cgnr import cgnr
+from .eigen import pagerank, power_iteration
+from .gmres import gmres
+from .precond import jacobi_preconditioner, ssor_preconditioner_diag
+
+__all__ = [
+    "SolveResult",
+    "as_matvec",
+    "identity_preconditioner",
+    "cg",
+    "cgnr",
+    "bicgstab",
+    "gmres",
+    "power_iteration",
+    "pagerank",
+    "jacobi_preconditioner",
+    "ssor_preconditioner_diag",
+]

@@ -1,0 +1,50 @@
+"""Common infrastructure for the iterative solvers (system S9).
+
+The solvers accept anything with a ``matvec(x) -> y`` method (all
+:mod:`repro.formats` matrices, :class:`repro.core.OptimizedSpMV`) or a
+bare callable, so the same CG/GMRES code runs on the baseline and on
+optimizer-produced operators — which is how the examples demonstrate
+end-to-end solver acceleration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["SolveResult", "as_matvec", "identity_preconditioner"]
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """Outcome of an iterative solve."""
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residual_norm: float
+    residual_history: np.ndarray = field(repr=False, default=None)
+
+    @property
+    def spmv_count(self) -> int:
+        """SpMV invocations performed (== iterations for CG/GMRES,
+        2x for BiCGSTAB)."""
+        return self.iterations
+
+
+def as_matvec(operator) -> Callable[[np.ndarray], np.ndarray]:
+    """Normalize an operator to a ``matvec`` callable."""
+    if callable(operator) and not hasattr(operator, "matvec"):
+        return operator
+    if hasattr(operator, "matvec"):
+        return operator.matvec
+    raise TypeError(
+        f"operator must be callable or have .matvec, got {type(operator)!r}"
+    )
+
+
+def identity_preconditioner(r: np.ndarray) -> np.ndarray:
+    """The no-op preconditioner."""
+    return r

@@ -1,0 +1,85 @@
+"""BiCGSTAB for general (non-symmetric) systems.
+
+Two SpMVs per iteration; used by the examples for the non-SPD
+matrices in the suite (circuit and graph matrices).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import SolveResult, as_matvec, identity_preconditioner
+
+__all__ = ["bicgstab"]
+
+
+def bicgstab(
+    A,
+    b: np.ndarray,
+    x0: np.ndarray | None = None,
+    *,
+    tol: float = 1e-8,
+    maxiter: int = 10_000,
+    preconditioner=None,
+) -> SolveResult:
+    """Solve ``A x = b`` with van der Vorst's stabilized BiCG."""
+    matvec = as_matvec(A)
+    M = preconditioner or identity_preconditioner
+    b = np.asarray(b, dtype=np.float64)
+    if maxiter < 1:
+        raise ValueError("maxiter must be >= 1")
+    x = (
+        np.zeros_like(b)
+        if x0 is None
+        else np.array(x0, dtype=np.float64, copy=True)
+    )
+    r = b - matvec(x) if x.any() else b.copy()
+    r_hat = r.copy()
+    rho = alpha = omega = 1.0
+    v = np.zeros_like(b)
+    p = np.zeros_like(b)
+    bnorm = float(np.linalg.norm(b)) or 1.0
+    history = [float(np.linalg.norm(r))]
+
+    for k in range(1, maxiter + 1):
+        rho_new = float(r_hat @ r)
+        if rho_new == 0.0 or omega == 0.0:
+            break  # breakdown
+        beta = (rho_new / rho) * (alpha / omega)
+        rho = rho_new
+        p = r + beta * (p - omega * v)
+        phat = M(p)
+        v = matvec(phat)
+        denom = float(r_hat @ v)
+        if denom == 0.0:
+            break
+        alpha = rho / denom
+        s = r - alpha * v
+        snorm = float(np.linalg.norm(s))
+        if snorm <= tol * bnorm:
+            x += alpha * phat
+            history.append(snorm)
+            return SolveResult(
+                x=x, converged=True, iterations=k, residual_norm=snorm,
+                residual_history=np.array(history),
+            )
+        shat = M(s)
+        t = matvec(shat)
+        tt = float(t @ t)
+        if tt == 0.0:
+            break
+        omega = float(t @ s) / tt
+        x += alpha * phat + omega * shat
+        r = s - omega * t
+        rnorm = float(np.linalg.norm(r))
+        history.append(rnorm)
+        if rnorm <= tol * bnorm:
+            return SolveResult(
+                x=x, converged=True, iterations=k, residual_norm=rnorm,
+                residual_history=np.array(history),
+            )
+
+    return SolveResult(
+        x=x, converged=False, iterations=len(history) - 1,
+        residual_norm=history[-1], residual_history=np.array(history),
+    )

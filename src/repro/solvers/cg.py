@@ -1,0 +1,75 @@
+"""Preconditioned Conjugate Gradient (for SPD systems).
+
+One SpMV per iteration — the solver the paper's amortization analysis
+names first. Standard PCG with the Hestenes-Stiefel recurrences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import SolveResult, as_matvec, identity_preconditioner
+
+__all__ = ["cg"]
+
+
+def cg(
+    A,
+    b: np.ndarray,
+    x0: np.ndarray | None = None,
+    *,
+    tol: float = 1e-8,
+    maxiter: int = 10_000,
+    preconditioner=None,
+) -> SolveResult:
+    """Solve ``A x = b`` for SPD ``A``.
+
+    Convergence criterion: ``||r||_2 <= tol * ||b||_2``.
+    """
+    matvec = as_matvec(A)
+    M = preconditioner or identity_preconditioner
+    b = np.asarray(b, dtype=np.float64)
+    if maxiter < 1:
+        raise ValueError("maxiter must be >= 1")
+    x = (
+        np.zeros_like(b)
+        if x0 is None
+        else np.array(x0, dtype=np.float64, copy=True)
+    )
+    r = b - matvec(x) if x.any() else b.copy()
+    z = M(r)
+    p = z.copy()
+    rz = float(r @ z)
+    bnorm = float(np.linalg.norm(b)) or 1.0
+    history = [float(np.linalg.norm(r))]
+
+    for k in range(1, maxiter + 1):
+        Ap = matvec(p)
+        pAp = float(p @ Ap)
+        if pAp <= 0:
+            # Not SPD (or breakdown): stop with what we have.
+            return SolveResult(
+                x=x, converged=False, iterations=k - 1,
+                residual_norm=history[-1],
+                residual_history=np.array(history),
+            )
+        alpha = rz / pAp
+        x += alpha * p
+        r -= alpha * Ap
+        rnorm = float(np.linalg.norm(r))
+        history.append(rnorm)
+        if rnorm <= tol * bnorm:
+            return SolveResult(
+                x=x, converged=True, iterations=k, residual_norm=rnorm,
+                residual_history=np.array(history),
+            )
+        z = M(r)
+        rz_new = float(r @ z)
+        beta = rz_new / rz
+        rz = rz_new
+        p = z + beta * p
+
+    return SolveResult(
+        x=x, converged=False, iterations=maxiter,
+        residual_norm=history[-1], residual_history=np.array(history),
+    )

@@ -1,0 +1,76 @@
+"""CGNR — conjugate gradient on the normal equations.
+
+Solves the least-squares problem ``min ||A x - b||_2`` by running CG on
+``A^T A x = A^T b`` without ever forming ``A^T A``: each iteration is
+one ``matvec`` and one ``rmatvec``, i.e. two SpMV-shaped passes — the
+rectangular-system counterpart of the paper's iterative-solver context
+(LP matrices like *degme* are rectangular in the wild).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import SolveResult
+
+__all__ = ["cgnr"]
+
+
+def cgnr(
+    A,
+    b: np.ndarray,
+    x0: np.ndarray | None = None,
+    *,
+    tol: float = 1e-8,
+    maxiter: int = 10_000,
+) -> SolveResult:
+    """Solve ``min ||A x - b||`` for an operator with matvec/rmatvec.
+
+    Convergence criterion: ``||A^T r||_2 <= tol * ||A^T b||_2`` (the
+    normal-equation residual, the quantity CGNR actually drives down).
+    """
+    if not (hasattr(A, "matvec") and hasattr(A, "rmatvec")):
+        raise TypeError("A must provide matvec and rmatvec")
+    if maxiter < 1:
+        raise ValueError("maxiter must be >= 1")
+    b = np.asarray(b, dtype=np.float64)
+    nrows, ncols = A.shape
+    if b.shape != (nrows,):
+        raise ValueError(f"b must have shape ({nrows},), got {b.shape}")
+    x = (
+        np.zeros(ncols)
+        if x0 is None
+        else np.array(x0, dtype=np.float64, copy=True)
+    )
+
+    r = b - A.matvec(x) if x.any() else b.copy()
+    z = A.rmatvec(r)                  # normal-equation residual
+    p = z.copy()
+    zz = float(z @ z)
+    z0 = float(np.linalg.norm(A.rmatvec(b))) or 1.0
+    history = [float(np.sqrt(zz))]
+
+    for k in range(1, maxiter + 1):
+        w = A.matvec(p)
+        ww = float(w @ w)
+        if ww == 0.0:
+            break
+        alpha = zz / ww
+        x += alpha * p
+        r -= alpha * w
+        z = A.rmatvec(r)
+        zz_new = float(z @ z)
+        history.append(float(np.sqrt(zz_new)))
+        if history[-1] <= tol * z0:
+            return SolveResult(
+                x=x, converged=True, iterations=k,
+                residual_norm=history[-1],
+                residual_history=np.array(history),
+            )
+        p = z + (zz_new / zz) * p
+        zz = zz_new
+
+    return SolveResult(
+        x=x, converged=False, iterations=min(maxiter, len(history) - 1),
+        residual_norm=history[-1], residual_history=np.array(history),
+    )

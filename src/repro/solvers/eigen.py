@@ -1,0 +1,104 @@
+"""Eigenvalue-flavored iterations (power method, PageRank).
+
+The paper's introduction names "the approximation of eigenvalues of
+large sparse matrices" as SpMV's second major consumer; these
+SpMV-dominated iterations complete the solver suite and back the
+PageRank example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import SolveResult, as_matvec
+
+__all__ = ["power_iteration", "pagerank"]
+
+
+def power_iteration(
+    A,
+    x0: np.ndarray | None = None,
+    *,
+    tol: float = 1e-10,
+    maxiter: int = 1000,
+    seed: int = 0,
+) -> tuple[float, SolveResult]:
+    """Dominant eigenvalue/eigenvector by the power method.
+
+    Returns ``(eigenvalue, SolveResult)`` where ``SolveResult.x`` is the
+    unit eigenvector estimate and ``residual_norm`` is
+    ``||A v - lambda v||``.
+    """
+    probe = as_matvec(A)
+    if maxiter < 1:
+        raise ValueError("maxiter must be >= 1")
+    if x0 is None:
+        # size discovery: require an operator with .shape or a first x0
+        n = getattr(A, "shape", (None, None))[0]
+        if n is None:
+            raise ValueError("x0 required for bare-callable operators")
+        x = np.random.default_rng(seed).standard_normal(n)
+    else:
+        x = np.array(x0, dtype=np.float64, copy=True)
+    x /= np.linalg.norm(x)
+    lam = 0.0
+    history = []
+    for k in range(1, maxiter + 1):
+        y = probe(x)
+        norm = float(np.linalg.norm(y))
+        if norm == 0.0:
+            return 0.0, SolveResult(
+                x=x, converged=True, iterations=k, residual_norm=0.0,
+                residual_history=np.array(history),
+            )
+        v = y / norm
+        lam = float(x @ y)            # Rayleigh quotient (x is unit)
+        resid = float(np.linalg.norm(y - lam * x))
+        history.append(resid)
+        x = v
+        if resid <= tol * max(abs(lam), 1e-300):
+            return lam, SolveResult(
+                x=x, converged=True, iterations=k, residual_norm=resid,
+                residual_history=np.array(history),
+            )
+    return lam, SolveResult(
+        x=x, converged=False, iterations=maxiter,
+        residual_norm=history[-1] if history else np.inf,
+        residual_history=np.array(history),
+    )
+
+
+def pagerank(
+    A,
+    nrows: int,
+    *,
+    damping: float = 0.85,
+    tol: float = 1e-10,
+    maxiter: int = 500,
+) -> SolveResult:
+    """Power-iteration PageRank on a (column-normalized) operator.
+
+    ``A`` must implement the rank-flow product (``A @ r`` spreads rank
+    along in-links); dangling mass and teleportation are folded in as
+    the usual uniform correction.
+    """
+    if not 0.0 < damping < 1.0:
+        raise ValueError("damping must be in (0, 1)")
+    matvec = as_matvec(A)
+    rank = np.full(nrows, 1.0 / nrows)
+    history = []
+    for k in range(1, maxiter + 1):
+        new = damping * matvec(rank)
+        new += (1.0 - new.sum()) / nrows
+        delta = float(np.abs(new - rank).sum())
+        history.append(delta)
+        rank = new
+        if delta <= tol:
+            return SolveResult(
+                x=rank, converged=True, iterations=k,
+                residual_norm=delta, residual_history=np.array(history),
+            )
+    return SolveResult(
+        x=rank, converged=False, iterations=maxiter,
+        residual_norm=history[-1], residual_history=np.array(history),
+    )

@@ -1,0 +1,111 @@
+"""Restarted GMRES for general systems.
+
+One SpMV per inner iteration, Arnoldi with modified Gram-Schmidt and
+Givens-rotation least squares — the second solver family the paper's
+amortization argument names (GMRES variants).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import SolveResult, as_matvec, identity_preconditioner
+
+__all__ = ["gmres"]
+
+
+def gmres(
+    A,
+    b: np.ndarray,
+    x0: np.ndarray | None = None,
+    *,
+    tol: float = 1e-8,
+    restart: int = 30,
+    maxiter: int = 10_000,
+    preconditioner=None,
+) -> SolveResult:
+    """Solve ``A x = b`` with GMRES(restart), left-preconditioned."""
+    matvec = as_matvec(A)
+    M = preconditioner or identity_preconditioner
+    b = np.asarray(b, dtype=np.float64)
+    if restart < 1:
+        raise ValueError("restart must be >= 1")
+    if maxiter < 1:
+        raise ValueError("maxiter must be >= 1")
+    n = b.size
+    x = (
+        np.zeros_like(b)
+        if x0 is None
+        else np.array(x0, dtype=np.float64, copy=True)
+    )
+    bnorm = float(np.linalg.norm(M(b))) or 1.0
+    history: list[float] = []
+    total_iters = 0
+
+    while total_iters < maxiter:
+        r = M(b - matvec(x))
+        beta = float(np.linalg.norm(r))
+        if not history:
+            history.append(beta)
+        if beta <= tol * bnorm:
+            return SolveResult(
+                x=x, converged=True, iterations=total_iters,
+                residual_norm=beta, residual_history=np.array(history),
+            )
+        m = min(restart, maxiter - total_iters)
+        Q = np.zeros((m + 1, n))
+        H = np.zeros((m + 1, m))
+        cs = np.zeros(m)
+        sn = np.zeros(m)
+        g = np.zeros(m + 1)
+        g[0] = beta
+        Q[0] = r / beta
+
+        k_done = 0
+        for k in range(m):
+            w = M(matvec(Q[k]))
+            # Modified Gram-Schmidt
+            for i in range(k + 1):
+                H[i, k] = float(w @ Q[i])
+                w -= H[i, k] * Q[i]
+            H[k + 1, k] = float(np.linalg.norm(w))
+            if H[k + 1, k] > 1e-14:
+                Q[k + 1] = w / H[k + 1, k]
+            # Apply existing Givens rotations to the new column.
+            for i in range(k):
+                t = cs[i] * H[i, k] + sn[i] * H[i + 1, k]
+                H[i + 1, k] = -sn[i] * H[i, k] + cs[i] * H[i + 1, k]
+                H[i, k] = t
+            # New rotation to annihilate H[k+1, k].
+            denom = float(np.hypot(H[k, k], H[k + 1, k])) or 1e-300
+            cs[k] = H[k, k] / denom
+            sn[k] = H[k + 1, k] / denom
+            H[k, k] = denom
+            H[k + 1, k] = 0.0
+            g[k + 1] = -sn[k] * g[k]
+            g[k] = cs[k] * g[k]
+            k_done = k + 1
+            total_iters += 1
+            rnorm = abs(float(g[k + 1]))
+            history.append(rnorm)
+            if rnorm <= tol * bnorm:
+                break
+
+        # Solve the small triangular system and update x.
+        y = np.linalg.solve(
+            H[:k_done, :k_done], g[:k_done]
+        ) if k_done else np.zeros(0)
+        x = x + Q[:k_done].T @ y
+        if history[-1] <= tol * bnorm:
+            final = float(np.linalg.norm(M(b - matvec(x))))
+            return SolveResult(
+                x=x, converged=final <= tol * bnorm * 10.0,
+                iterations=total_iters, residual_norm=final,
+                residual_history=np.array(history),
+            )
+
+    final = float(np.linalg.norm(M(b - matvec(x))))
+    return SolveResult(
+        x=x, converged=final <= tol * bnorm, iterations=total_iters,
+        residual_norm=final, residual_history=np.array(history),
+    )

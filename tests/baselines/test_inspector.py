@@ -1,0 +1,55 @@
+"""Unit tests for the Inspector-Executor analogue."""
+
+import pytest
+
+from repro.baselines import InspectorExecutor, run_mkl_csr
+from repro.machine import KNC, KNL
+
+
+def test_not_available_on_knc():
+    with pytest.raises(ValueError, match="KNC"):
+        InspectorExecutor(KNC)
+
+
+def test_improves_over_mkl_on_skew(skewed_csr):
+    ie = InspectorExecutor(KNL, nthreads=32)
+    res = ie.optimize(skewed_csr)
+    r_mkl = run_mkl_csr(skewed_csr, KNL, nthreads=32)
+    assert res.gflops > r_mkl.gflops
+
+
+def test_inspection_cost_positive(banded_csr):
+    ie = InspectorExecutor(KNL)
+    res = ie.optimize(banded_csr)
+    assert res.inspection_seconds > 0
+    # inspection includes trial runs: must exceed a handful of SpMVs
+    assert res.inspection_seconds > 4 * res.result.seconds
+
+
+def test_chooses_vectorized_candidate(banded_csr):
+    ie = InspectorExecutor(KNL)
+    res = ie.optimize(banded_csr)
+    assert res.chosen.vectorize
+
+
+def test_no_prefetch_in_candidate_space(scattered_csr):
+    """The I-E analogue never applies software prefetching — the gap
+    the paper's optimizer exploits on latency-bound matrices."""
+    ie = InspectorExecutor(KNL)
+    res = ie.optimize(scattered_csr)
+    assert not res.chosen.prefetch
+
+
+def test_empty_matrix_rejected():
+    import numpy as np
+
+    from repro.formats import CSRMatrix
+
+    empty = CSRMatrix([0, 0], np.zeros(0, np.int32), np.zeros(0), (1, 1))
+    with pytest.raises(ValueError):
+        InspectorExecutor(KNL).optimize(empty)
+
+
+def test_result_kernel_name(banded_csr):
+    res = InspectorExecutor(KNL).optimize(banded_csr)
+    assert res.result.kernel_name == "mkl-inspector-executor"

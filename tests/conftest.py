@@ -1,0 +1,92 @@
+"""Shared fixtures for the test suite.
+
+Everything here is intentionally *small*: unit tests run on matrices of
+a few hundred to a few thousand rows so the whole suite stays fast.
+The integration tests that need realistic sizes build their own
+matrices at a reduced ``scale``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.formats import COOMatrix, CSRMatrix
+from repro.machine import BROADWELL, KNC, KNL
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_random_csr():
+    """300x300 random matrix, ~5% dense, canonical CSR."""
+    S = sp.random(300, 300, density=0.05, random_state=7, format="csr")
+    S.sort_indices()
+    return CSRMatrix.from_scipy(S)
+
+
+@pytest.fixture(scope="session")
+def small_random_scipy():
+    S = sp.random(300, 300, density=0.05, random_state=7, format="csr")
+    S.sort_indices()
+    return S
+
+
+@pytest.fixture(scope="session")
+def skewed_csr():
+    """Matrix with 2 huge rows and many tiny ones (IMB archetype)."""
+    rng = np.random.default_rng(3)
+    n = 1000
+    rows, cols, vals = [], [], []
+    # tiny rows
+    for frac in range(3):
+        r = rng.integers(0, n, size=2 * n)
+        c = rng.integers(0, n, size=2 * n)
+        rows.append(r)
+        cols.append(c)
+    # two dense rows spanning every column
+    for hot in (17, 500):
+        c = np.arange(n)
+        rows.append(np.full(c.size, hot))
+        cols.append(c)
+    rows = np.concatenate(rows)
+    cols = np.concatenate(cols)
+    vals = rng.uniform(0.5, 1.5, size=rows.size)
+    return CSRMatrix.from_coo(COOMatrix(rows, cols, vals, (n, n)))
+
+
+@pytest.fixture(scope="session")
+def banded_csr():
+    from repro.matrices.generators import banded
+
+    return banded(2000, nnz_per_row=9, bandwidth=20, jitter=0.5, seed=5)
+
+
+@pytest.fixture(scope="session")
+def scattered_csr():
+    from repro.matrices.generators import random_uniform
+
+    return random_uniform(2000, nnz_per_row=12.0, seed=6)
+
+
+@pytest.fixture(scope="session")
+def empty_row_csr():
+    """Matrix with empty rows, single-element rows and a dense row."""
+    rowptr = np.array([0, 0, 1, 1, 4, 4, 10], dtype=np.int64)
+    colind = np.array([3, 0, 2, 5, 0, 1, 2, 3, 4, 5], dtype=np.int32)
+    values = np.arange(1.0, 11.0)
+    return CSRMatrix(rowptr, colind, values, (6, 6))
+
+
+@pytest.fixture(params=["knc", "knl", "broadwell"])
+def platform(request):
+    return {"knc": KNC, "knl": KNL, "broadwell": BROADWELL}[request.param]
+
+
+@pytest.fixture(scope="session")
+def x300(rng):
+    return rng.standard_normal(300)

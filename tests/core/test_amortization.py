@@ -1,0 +1,71 @@
+"""Unit tests for the amortization analysis (paper Table V)."""
+
+import math
+
+import pytest
+
+from repro.core import AmortizationCase, AmortizationSummary, amortization_study
+from repro.machine import KNC, KNL
+from repro.matrices import named_matrix
+
+
+def test_case_iteration_formula():
+    c = AmortizationCase("x", "m", t_pre=1.0, t_mkl=0.010, t_opt=0.008)
+    assert c.n_iters_min == pytest.approx(1.0 / 0.002)
+
+
+def test_case_never_beneficial_is_inf():
+    c = AmortizationCase("x", "m", t_pre=1.0, t_mkl=0.010, t_opt=0.020)
+    assert math.isinf(c.n_iters_min)
+
+
+def test_summary_statistics():
+    cases = [
+        AmortizationCase("x", "a", 1.0, 0.01, 0.005),   # 200
+        AmortizationCase("x", "b", 1.0, 0.01, 0.009),   # 1000
+        AmortizationCase("x", "c", 1.0, 0.01, 0.020),   # inf (excluded)
+    ]
+    s = AmortizationSummary.from_cases("x", cases)
+    assert s.n_best == pytest.approx(200)
+    assert s.n_worst == pytest.approx(1000)
+    assert s.n_beneficial == 2 and s.n_total == 3
+
+
+def test_summary_all_inf():
+    cases = [AmortizationCase("x", "a", 1.0, 0.01, 0.020)]
+    s = AmortizationSummary.from_cases("x", cases)
+    assert math.isinf(s.n_avg) and s.n_beneficial == 0
+
+
+@pytest.fixture(scope="module")
+def study_knl():
+    suite = [
+        (name, named_matrix(name, scale=0.25))
+        for name in ("ASIC_680k", "poisson3Db", "webbase-1M")
+    ]
+    return amortization_study(suite, KNL)
+
+
+def test_study_produces_expected_rows(study_knl):
+    assert set(study_knl) == {
+        "trivial-single", "trivial-combined", "profile-guided",
+        "mkl-inspector-executor",
+    }
+
+
+def test_paper_table5_ordering(study_knl):
+    """trivial-combined > trivial-single > profile-guided on average."""
+    avg = {k: v.n_avg for k, v in study_knl.items()}
+    assert avg["trivial-combined"] > avg["trivial-single"]
+    assert avg["trivial-single"] > avg["profile-guided"]
+
+
+def test_knc_skips_inspector_executor():
+    suite = [("ASIC_680k", named_matrix("ASIC_680k", scale=0.2))]
+    res = amortization_study(suite, KNC)
+    assert "mkl-inspector-executor" not in res
+
+
+def test_empty_suite_rejected():
+    with pytest.raises(ValueError):
+        amortization_study([], KNL)

@@ -1,0 +1,43 @@
+"""Unit tests for bottleneck class definitions."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ALL_CLASSES,
+    Bottleneck,
+    classes_to_labels,
+    format_classes,
+    labels_to_classes,
+)
+
+
+def test_four_classes_in_paper_order():
+    assert [c.value for c in ALL_CLASSES] == ["MB", "ML", "IMB", "CMP"]
+
+
+def test_labels_roundtrip():
+    for subset in (
+        frozenset(),
+        frozenset({Bottleneck.ML}),
+        frozenset({Bottleneck.MB, Bottleneck.CMP}),
+        frozenset(ALL_CLASSES),
+    ):
+        labels = classes_to_labels(subset)
+        assert labels_to_classes(labels) == subset
+
+
+def test_labels_vector_layout():
+    labels = classes_to_labels({Bottleneck.ML, Bottleneck.IMB})
+    np.testing.assert_array_equal(labels, [0, 1, 1, 0])
+
+
+def test_labels_shape_validation():
+    with pytest.raises(ValueError):
+        labels_to_classes(np.array([1, 0]))
+
+
+def test_format_classes_stable_order():
+    s = format_classes(frozenset({Bottleneck.CMP, Bottleneck.MB}))
+    assert s == "{MB, CMP}"
+    assert format_classes(frozenset()) == "{}"

@@ -1,0 +1,61 @@
+"""Unit tests for the hyperparameter grid search."""
+
+import pytest
+
+from repro.core import tune_profile_thresholds
+from repro.machine import KNC
+from repro.matrices import training_suite
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return [
+        t.matrix
+        for t in training_suite(count=10, seed=13, min_rows=10_000,
+                                max_rows=30_000)
+    ]
+
+
+def test_grid_is_exhaustive(corpus):
+    res = tune_profile_thresholds(
+        corpus, KNC, t_ml_grid=(1.1, 1.3), t_imb_grid=(1.1, 1.3),
+        t_mb_grid=(0.75,),
+    )
+    assert len(res.points) == 4
+
+
+def test_points_sorted_best_first(corpus):
+    res = tune_profile_thresholds(
+        corpus, KNC, t_ml_grid=(1.05, 1.25, 1.6),
+        t_imb_grid=(1.05, 1.25, 1.6), t_mb_grid=(0.75,),
+    )
+    gains = [p.mean_speedup for p in res.points]
+    assert gains == sorted(gains, reverse=True)
+    assert res.best.mean_speedup == gains[0]
+
+
+def test_best_gain_at_least_one(corpus):
+    """Very strict thresholds classify nothing -> gain exactly 1.0;
+    the best point can only match or beat that."""
+    res = tune_profile_thresholds(
+        corpus, KNC, t_ml_grid=(1.25, 50.0), t_imb_grid=(1.24, 50.0),
+        t_mb_grid=(0.999,),
+    )
+    assert res.best.mean_speedup >= 1.0
+
+
+def test_classified_counts_monotone_in_thresholds(corpus):
+    res = tune_profile_thresholds(
+        corpus, KNC, t_ml_grid=(1.05, 3.0), t_imb_grid=(1.05, 3.0),
+        t_mb_grid=(0.75,),
+    )
+    by_thresholds = {
+        (p.thresholds.t_ml, p.thresholds.t_imb): p.n_classified
+        for p in res.points
+    }
+    assert by_thresholds[(1.05, 1.05)] >= by_thresholds[(3.0, 3.0)]
+
+
+def test_empty_corpus_rejected():
+    with pytest.raises(ValueError):
+        tune_profile_thresholds([], KNC)

@@ -1,0 +1,106 @@
+"""Unit tests for the rule-based (Fig. 5) classifier."""
+
+import pytest
+
+from repro.core import (
+    Bottleneck,
+    PerformanceBounds,
+    ProfileGuidedClassifier,
+    ProfileThresholds,
+    classify_from_bounds,
+)
+from repro.machine import KNC
+
+
+def _bounds(p_csr=10.0, p_mb=20.0, p_ml=11.0, p_imb=10.5, p_cmp=30.0,
+            p_peak=40.0):
+    return PerformanceBounds(
+        p_csr=p_csr, p_mb=p_mb, p_ml=p_ml, p_imb=p_imb, p_cmp=p_cmp,
+        p_peak=p_peak, baseline=None, machine_codename="test",
+    )
+
+
+def test_default_thresholds_match_paper():
+    th = ProfileThresholds()
+    assert th.t_ml == 1.25
+    assert th.t_imb == 1.24
+
+
+def test_ml_rule():
+    assert Bottleneck.ML in classify_from_bounds(_bounds(p_ml=13.0))
+    assert Bottleneck.ML not in classify_from_bounds(_bounds(p_ml=12.0))
+
+
+def test_imb_rule():
+    assert Bottleneck.IMB in classify_from_bounds(_bounds(p_imb=13.0))
+    assert Bottleneck.IMB not in classify_from_bounds(_bounds(p_imb=12.0))
+
+
+def test_mb_rule_requires_near_bound_and_cmp_window():
+    # P_CSR ~ P_MB and P_MB < P_CMP < P_peak
+    got = classify_from_bounds(
+        _bounds(p_csr=16.0, p_mb=20.0, p_cmp=30.0, p_peak=40.0)
+    )
+    assert Bottleneck.MB in got
+    # baseline far from the bound: not MB
+    got = classify_from_bounds(
+        _bounds(p_csr=10.0, p_mb=20.0, p_cmp=30.0, p_peak=40.0)
+    )
+    assert Bottleneck.MB not in got
+
+
+def test_cmp_rule_low_cmp_bound():
+    """P_MB > P_CMP -> compute-limited."""
+    got = classify_from_bounds(_bounds(p_mb=20.0, p_cmp=15.0))
+    assert Bottleneck.CMP in got
+
+
+def test_cmp_rule_cache_resident():
+    """P_CMP > P_peak -> cache-resident regime."""
+    got = classify_from_bounds(_bounds(p_cmp=50.0, p_peak=40.0))
+    assert Bottleneck.CMP in got
+
+
+def test_empty_class_set_possible():
+    got = classify_from_bounds(
+        _bounds(p_csr=10.0, p_mb=20.0, p_ml=11.0, p_imb=10.5,
+                p_cmp=30.0, p_peak=40.0)
+    )
+    assert got == frozenset()
+
+
+def test_multilabel_output():
+    got = classify_from_bounds(
+        _bounds(p_csr=10.0, p_ml=20.0, p_imb=20.0, p_mb=25.0, p_cmp=15.0)
+    )
+    assert {Bottleneck.ML, Bottleneck.IMB, Bottleneck.CMP} <= got
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        ProfileThresholds(t_ml=0.9)
+    with pytest.raises(ValueError):
+        ProfileThresholds(t_imb=1.0)
+    with pytest.raises(ValueError):
+        ProfileThresholds(t_mb=0.0)
+
+
+def test_nonpositive_baseline_rejected():
+    with pytest.raises(ValueError):
+        classify_from_bounds(_bounds(p_csr=0.0))
+
+
+def test_classifier_end_to_end(banded_csr):
+    clf = ProfileGuidedClassifier(KNC)
+    classes, cost = clf.classify_with_cost(banded_csr)
+    assert isinstance(classes, frozenset)
+    assert cost > 0.0
+    assert clf.classify(banded_csr) == classes  # deterministic
+
+
+def test_custom_thresholds_change_outcome(banded_csr):
+    strict = ProfileGuidedClassifier(
+        KNC, ProfileThresholds(t_ml=5.0, t_imb=5.0, t_mb=1.0)
+    )
+    got = strict.classify(banded_csr)
+    assert Bottleneck.ML not in got and Bottleneck.IMB not in got

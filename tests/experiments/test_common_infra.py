@@ -1,0 +1,29 @@
+"""Tests for the shared experiment infrastructure."""
+
+from repro.experiments.common import trained_feature_classifier
+from repro.machine import KNC
+
+
+def test_classifier_memoized_per_platform_and_corpus():
+    a = trained_feature_classifier(KNC, train_count=8, seed=123)
+    b = trained_feature_classifier(KNC, train_count=8, seed=123)
+    assert a is b
+    c = trained_feature_classifier(KNC, train_count=9, seed=123)
+    assert c is not a
+
+
+def test_classifier_kwargs_bypass_cache():
+    a = trained_feature_classifier(KNC, train_count=8, seed=124)
+    b = trained_feature_classifier(
+        KNC, train_count=8, seed=124, max_depth=3
+    )
+    assert b is not a
+    assert b.max_depth == 3
+
+
+def test_trained_classifier_is_usable():
+    clf = trained_feature_classifier(KNC, train_count=8, seed=125)
+    from repro.matrices import named_matrix
+
+    classes = clf.classify(named_matrix("consph", scale=0.1))
+    assert isinstance(classes, frozenset)

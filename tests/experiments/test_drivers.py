@@ -1,0 +1,181 @@
+"""Smoke + shape tests for every experiment driver, at tiny scale.
+
+The benchmarks run the drivers at full scale; here we verify the
+structure of each artifact (headers, rows, notes) and the headline
+*orderings* on reduced inputs.
+"""
+
+import pytest
+
+from repro import experiments as exp
+from repro.experiments.common import (
+    ExperimentTable,
+    geometric_mean,
+    render_table,
+    trained_feature_classifier,
+)
+from repro.machine import KNC, KNL
+
+SCALE = 0.12
+FEW = ("consph", "poisson3Db", "ASIC_680k", "webbase-1M")
+
+
+def test_render_table_alignment():
+    text = render_table(("a", "bb"), [(1, 2.5), ("xyz", 3.0)])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "a" in lines[0] and "-+-" in lines[1]
+
+
+def test_experiment_table_api():
+    t = ExperimentTable("x", "demo", ("c1", "c2"))
+    t.add("v", 1.0)
+    t.note("hello")
+    with pytest.raises(ValueError):
+        t.add("only-one")
+    text = t.to_text()
+    assert "demo" in text and "note: hello" in text
+    assert t.column("c1") == ["v"]
+
+
+def test_geometric_mean():
+    assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, -1.0])
+
+
+def test_fig1_driver():
+    table = exp.fig1.run(scale=SCALE, names=FEW)
+    assert len(table.rows) == len(FEW)
+    assert table.headers[0] == "matrix"
+    assert len(table.headers) == 6  # matrix + 5 optimizations
+    # speedups are positive ratios
+    for row in table.rows:
+        assert all(v > 0 for v in row[1:])
+
+
+def test_fig4_driver():
+    table = exp.fig4.run(scale=SCALE, names=FEW)
+    assert "classes" in table.headers
+    for row in table.rows:
+        # P_peak must dominate P_MB in every row
+        assert row[table.headers.index("P_peak")] > row[
+            table.headers.index("P_MB")
+        ]
+
+
+@pytest.fixture(scope="module")
+def tiny_classifier():
+    return trained_feature_classifier(KNL, train_count=12, seed=99)
+
+
+def test_fig7_driver(monkeypatch, tiny_classifier):
+    monkeypatch.setattr(
+        "repro.experiments.fig7.trained_feature_classifier",
+        lambda machine, train_count: tiny_classifier,
+    )
+    table = exp.fig7.run("knl", scale=SCALE, names=FEW, train_count=12)
+    assert "MKL I-E" in table.headers
+    assert len(table.rows) == len(FEW)
+    assert any("average speedup" in n for n in table.notes)
+
+
+def test_fig7_knc_has_no_inspector(monkeypatch):
+    clf = trained_feature_classifier(KNC, train_count=12, seed=98)
+    monkeypatch.setattr(
+        "repro.experiments.fig7.trained_feature_classifier",
+        lambda machine, train_count: clf,
+    )
+    table = exp.fig7.run("knc", scale=SCALE, names=FEW[:2], train_count=12)
+    assert "MKL I-E" not in table.headers
+
+
+def test_table2_driver():
+    table = exp.table2.run()
+    assert len(table.rows) == 14  # the full Table II inventory
+    scaling = exp.table2.extraction_scaling(
+        sizes=(5_000, 20_000), repeats=1
+    )
+    assert len(scaling.rows) == 2
+
+
+def test_table3_driver():
+    table = exp.table3.run()
+    assert len(table.rows) == 3
+    main = table.column("STREAM main (GB/s)")
+    assert main == pytest.approx([128.0, 395.0, 60.0], rel=0.02)
+
+
+def test_table4_driver():
+    table = exp.table4.run(train_count=12, seed=97)
+    assert len(table.rows) == 2
+    for row in table.rows:
+        exact, partial = row[2], row[3]
+        assert 0.0 <= exact <= partial <= 100.0
+
+
+def test_table5_driver(monkeypatch, tiny_classifier):
+    monkeypatch.setattr(
+        "repro.experiments.table5.trained_feature_classifier",
+        lambda machine, train_count: tiny_classifier,
+    )
+    table = exp.table5.run(scale=SCALE, names=FEW[:3], train_count=12)
+    names = table.column("optimizer")
+    assert "feature-guided" in names and "trivial-combined" in names
+
+
+def test_fig5_gridsearch_driver():
+    table = exp.fig5.run(corpus_count=6, t_ml_grid=(1.1, 1.4),
+                         t_imb_grid=(1.1, 1.4))
+    assert len(table.rows) == 4
+    gains = table.column("mean gain")
+    assert gains == sorted(gains, reverse=True)
+
+
+def test_ablation_drivers_run():
+    t1 = exp.ablations.imb_strategy(scale=SCALE)
+    assert len(t1.rows) == 5
+    t2 = exp.ablations.delta_width(scale=SCALE)
+    assert any("8-bit" in str(r[-2]) or "16-bit" in str(r[-2])
+               for r in t2.rows)
+    t3 = exp.ablations.scheduling_policies(scale=SCALE)
+    assert len(t3.headers) == 5
+    t4 = exp.ablations.tree_ablation(corpus_count=10)
+    assert len(t4.rows) == 9  # 3 feature sets x 3 depths
+
+
+def test_extension_ablation_drivers_run():
+    t5 = exp.ablations.partitioned_ml(scale=SCALE)
+    assert "global ML gain" in t5.headers
+    assert len(t5.rows) == 4
+    t6 = exp.ablations.bcsr_vs_delta(scale=SCALE)
+    fills = t6.column("fill")
+    assert min(fills) >= 1.0
+    t7 = exp.ablations.format_landscape(scale=SCALE)
+    assert "best" in t7.headers
+    t8 = exp.ablations.architecture_sensitivity(scale=SCALE)
+    assert len(t8.rows) == 4
+
+
+def test_report_module_lists_every_artifact():
+    from repro.experiments.report import ALL_DRIVERS
+
+    titles = [t for t, _ in ALL_DRIVERS]
+    for needle in ("Table III", "Table II", "Fig. 1", "Fig. 4", "Fig. 5",
+                   "Table IV", "Fig. 7a", "Fig. 7b", "Fig. 7c", "Table V",
+                   "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8"):
+        assert any(needle in t for t in titles), needle
+
+
+def test_report_markdown_rendering():
+    from repro.experiments.report import _table_to_markdown
+
+    t = ExperimentTable("x", "demo", ("a", "b"))
+    t.add("v", 1.25)
+    t.note("a note")
+    md = _table_to_markdown(t)
+    assert "| a | b |" in md
+    assert "| v | 1.25 |" in md
+    assert "*a note*" in md

@@ -1,0 +1,75 @@
+"""Unit tests for the BCSR format."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix
+from repro.formats.bcsr import BCSRMatrix
+
+
+@pytest.mark.parametrize("block", [1, 2, 3, 4])
+def test_matvec_matches_csr(small_random_csr, x300, block):
+    bcsr = BCSRMatrix.from_csr(small_random_csr, block=block)
+    np.testing.assert_allclose(
+        bcsr.matvec(x300), small_random_csr.matvec(x300), rtol=1e-12
+    )
+
+
+def test_odd_dimensions_padding():
+    """Dimensions not divisible by the block size must still work."""
+    csr = CSRMatrix.from_arrays(
+        [0, 2, 4, 4], [0, 4, 1, 4], [1.0, 2.0, 3.0, 4.0], (5, 5)
+    )
+    bcsr = BCSRMatrix.from_csr(csr, block=2)
+    x = np.arange(5.0)
+    np.testing.assert_allclose(bcsr.matvec(x), csr.matvec(x))
+
+
+def test_fill_ratio_perfect_blocks():
+    # fully dense 2x2 blocks -> fill 1.0
+    dense = np.kron(np.eye(4), np.ones((2, 2)))
+    csr = CSRMatrix.from_dense(dense)
+    bcsr = BCSRMatrix.from_csr(csr, block=2)
+    assert bcsr.fill_ratio == pytest.approx(1.0)
+    assert bcsr.nblocks == 4
+
+
+def test_fill_ratio_pointwise_diagonal():
+    csr = CSRMatrix.from_dense(np.eye(8))
+    bcsr = BCSRMatrix.from_csr(csr, block=2)
+    assert bcsr.fill_ratio == pytest.approx(2.0)  # 2 of 4 slots used
+
+
+def test_index_compression_vs_csr(banded_csr):
+    bcsr = BCSRMatrix.from_csr(banded_csr, block=2)
+    assert bcsr.index_nbytes() < banded_csr.index_nbytes()
+    # but values inflate by the fill
+    assert bcsr.value_nbytes() >= banded_csr.value_nbytes()
+
+
+def test_to_csr_roundtrip(small_random_csr, x300):
+    back = BCSRMatrix.from_csr(small_random_csr, block=3).to_csr()
+    np.testing.assert_allclose(
+        back.to_dense(), small_random_csr.to_dense(), rtol=1e-12
+    )
+
+
+def test_nnz_excludes_fill(small_random_csr):
+    bcsr = BCSRMatrix.from_csr(small_random_csr, block=2)
+    assert bcsr.nnz == small_random_csr.nnz
+    assert bcsr.stored_elements >= bcsr.nnz
+
+
+def test_empty_matrix():
+    csr = CSRMatrix([0, 0], np.zeros(0, np.int32), np.zeros(0), (1, 4))
+    bcsr = BCSRMatrix.from_csr(csr, block=2)
+    assert bcsr.nblocks == 0
+    np.testing.assert_array_equal(bcsr.matvec(np.ones(4)), [0.0])
+
+
+def test_block_validation():
+    with pytest.raises(ValueError):
+        BCSRMatrix.from_csr(
+            CSRMatrix([0, 0], np.zeros(0, np.int32), np.zeros(0), (1, 1)),
+            block=0,
+        )

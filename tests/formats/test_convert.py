@@ -1,0 +1,57 @@
+"""Unit tests for the format-conversion registry."""
+
+import numpy as np
+import pytest
+
+from repro.formats import (
+    COOMatrix,
+    DecomposedCSR,
+    DeltaCSR,
+    available_formats,
+    convert,
+    register_format,
+)
+
+
+def test_available_formats_contains_core_set():
+    names = available_formats()
+    for expected in ("csr", "coo", "delta-csr", "decomposed-csr"):
+        assert expected in names
+
+
+def test_convert_identity(small_random_csr):
+    assert convert(small_random_csr, "csr") is small_random_csr
+
+
+def test_convert_to_each_format(small_random_csr, x300):
+    y0 = small_random_csr.matvec(x300)
+    for name in ("coo", "delta-csr", "decomposed-csr"):
+        out = convert(small_random_csr, name)
+        np.testing.assert_allclose(out.matvec(x300), y0, rtol=1e-12)
+
+
+def test_convert_forwards_params(small_random_csr):
+    d = convert(small_random_csr, "delta-csr", width=16)
+    assert isinstance(d, DeltaCSR) and d.width == 16
+    dc = convert(small_random_csr, "decomposed-csr", threshold=5)
+    assert isinstance(dc, DecomposedCSR) and dc.threshold == 5
+
+
+def test_unknown_format_rejected(small_random_csr):
+    with pytest.raises(ValueError, match="unknown format"):
+        convert(small_random_csr, "bogus")
+
+
+def test_register_custom_format(small_random_csr):
+    register_format("negated-coo", lambda csr: COOMatrix(
+        csr.row_ids_per_nnz(), csr.colind.astype(np.int64),
+        -csr.values, csr.shape,
+    ))
+    out = convert(small_random_csr, "negated-coo")
+    assert out.nnz == small_random_csr.nnz
+    assert np.all(out.values < 0)
+
+
+def test_register_rejects_non_callable():
+    with pytest.raises(TypeError):
+        register_format("bad", 42)

@@ -1,0 +1,84 @@
+"""Unit tests for the decomposed (long-row split) format."""
+
+import numpy as np
+import pytest
+
+from repro.formats import (
+    CSRMatrix,
+    DecomposedCSR,
+    default_long_row_threshold,
+)
+
+
+def test_long_rows_detected(skewed_csr):
+    d = DecomposedCSR.from_csr(skewed_csr, threshold=50)
+    assert d.n_long_rows == 2
+    assert set(d.long_rows.tolist()) == {17, 500}
+
+
+def test_short_part_has_long_rows_emptied(skewed_csr):
+    d = DecomposedCSR.from_csr(skewed_csr, threshold=50)
+    short_nnz = d.short.row_nnz()
+    assert short_nnz[17] == 0 and short_nnz[500] == 0
+    assert d.short.nnz + d.long_nnz == skewed_csr.nnz
+
+
+def test_matvec_matches_csr(skewed_csr, rng):
+    d = DecomposedCSR.from_csr(skewed_csr, threshold=50)
+    x = rng.standard_normal(skewed_csr.ncols)
+    np.testing.assert_allclose(
+        d.matvec(x), skewed_csr.matvec(x), rtol=1e-12
+    )
+
+
+def test_no_long_rows_for_uniform(banded_csr, rng):
+    d = DecomposedCSR.from_csr(banded_csr)
+    assert d.n_long_rows == 0
+    x = rng.standard_normal(banded_csr.ncols)
+    np.testing.assert_allclose(d.matvec(x), banded_csr.matvec(x))
+
+
+def test_to_csr_roundtrip(skewed_csr):
+    d = DecomposedCSR.from_csr(skewed_csr, threshold=50)
+    back = d.to_csr()
+    np.testing.assert_array_equal(back.rowptr, skewed_csr.rowptr)
+    np.testing.assert_array_equal(back.colind, skewed_csr.colind)
+    np.testing.assert_allclose(back.values, skewed_csr.values)
+
+
+def test_nnz_and_bytes_accounting(skewed_csr):
+    d = DecomposedCSR.from_csr(skewed_csr, threshold=50)
+    assert d.nnz == skewed_csr.nnz
+    assert d.value_nbytes() == skewed_csr.value_nbytes()
+    # index side carries the extra long-row structures
+    assert d.index_nbytes() >= skewed_csr.index_nbytes()
+
+
+def test_default_threshold_properties(skewed_csr, banded_csr):
+    t_skew = default_long_row_threshold(skewed_csr, nthreads=64)
+    assert t_skew >= 8
+    # uniform matrix: threshold far above the max row length
+    t_band = default_long_row_threshold(banded_csr, nthreads=64)
+    assert t_band > int(banded_csr.row_nnz().max())
+
+
+def test_invalid_threshold_rejected(banded_csr):
+    with pytest.raises(ValueError, match="threshold"):
+        DecomposedCSR.from_csr(banded_csr, threshold=0)
+
+
+def test_threshold_boundary_exact():
+    # row of exactly `threshold` nnz stays short; threshold+1 goes long
+    rowptr = np.array([0, 3, 7], dtype=np.int64)
+    colind = np.arange(7, dtype=np.int32)
+    csr = CSRMatrix(rowptr, colind, np.ones(7), (2, 7))
+    d = DecomposedCSR.from_csr(csr, threshold=3)
+    assert d.n_long_rows == 1
+    assert d.long_rows.tolist() == [1]
+
+
+def test_empty_matrix():
+    csr = CSRMatrix([0, 0], np.zeros(0, np.int32), np.zeros(0), (1, 3))
+    d = DecomposedCSR.from_csr(csr, threshold=4)
+    assert d.n_long_rows == 0
+    assert d.matvec(np.ones(3)).tolist() == [0.0]

@@ -1,0 +1,58 @@
+"""Tests for the in-place alpha/beta SpMV (vendor calling convention)."""
+
+import numpy as np
+import pytest
+
+from repro.formats import DecomposedCSR, DeltaCSR
+
+
+def test_basic_update(small_random_csr, x300, rng):
+    y = rng.standard_normal(300)
+    y0 = y.copy()
+    out = small_random_csr.matvec_into(x300, y, alpha=2.0, beta=0.5)
+    assert out is y
+    np.testing.assert_allclose(
+        y, 2.0 * small_random_csr.matvec(x300) + 0.5 * y0, rtol=1e-12
+    )
+
+
+def test_beta_zero_ignores_garbage(small_random_csr, x300):
+    y = np.full(300, np.nan)
+    small_random_csr.matvec_into(x300, y, beta=0.0)
+    np.testing.assert_allclose(y, small_random_csr.matvec(x300))
+
+
+def test_alpha_zero_scales_only(small_random_csr, x300, rng):
+    y = rng.standard_normal(300)
+    y0 = y.copy()
+    small_random_csr.matvec_into(x300, y, alpha=0.0, beta=3.0)
+    np.testing.assert_allclose(y, 3.0 * y0)
+
+
+def test_identity_coefficients(small_random_csr, x300, rng):
+    y = rng.standard_normal(300)
+    y0 = y.copy()
+    small_random_csr.matvec_into(x300, y, alpha=1.0, beta=1.0)
+    np.testing.assert_allclose(
+        y, small_random_csr.matvec(x300) + y0, rtol=1e-12
+    )
+
+
+def test_works_on_all_formats(small_random_csr, x300):
+    expected = 1.5 * small_random_csr.matvec(x300)
+    for fmt in (
+        small_random_csr,
+        small_random_csr.to_coo(),
+        DeltaCSR.from_csr(small_random_csr),
+        DecomposedCSR.from_csr(small_random_csr, threshold=10),
+    ):
+        y = np.zeros(300)
+        fmt.matvec_into(x300, y, alpha=1.5)
+        np.testing.assert_allclose(y, expected, rtol=1e-12)
+
+
+def test_shape_and_dtype_validation(small_random_csr, x300):
+    with pytest.raises(ValueError):
+        small_random_csr.matvec_into(x300, np.zeros(5))
+    with pytest.raises(TypeError):
+        small_random_csr.matvec_into(x300, np.zeros(300, dtype=np.float32))

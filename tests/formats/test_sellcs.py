@@ -1,0 +1,73 @@
+"""Unit tests for the SELL-C-sigma format."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix, SellCSigmaMatrix
+
+
+@pytest.mark.parametrize("chunk", [1, 4, 8, 16])
+def test_matvec_matches_csr(small_random_csr, x300, chunk):
+    m = SellCSigmaMatrix.from_csr(small_random_csr, chunk=chunk)
+    np.testing.assert_allclose(
+        m.matvec(x300), small_random_csr.matvec(x300), rtol=1e-12
+    )
+
+
+def test_row_permutation_is_permutation(skewed_csr):
+    m = SellCSigmaMatrix.from_csr(skewed_csr, chunk=8)
+    assert np.array_equal(
+        np.sort(m.row_perm), np.arange(skewed_csr.nrows)
+    )
+
+
+def test_sigma_sorting_reduces_padding(skewed_csr):
+    unsorted = SellCSigmaMatrix.from_csr(skewed_csr, chunk=8, sigma=8)
+    sorted_ = SellCSigmaMatrix.from_csr(skewed_csr, chunk=8, sigma=1024)
+    assert sorted_.padding_ratio < unsorted.padding_ratio
+
+
+def test_sigma_window_respected():
+    """Rows may only be permuted within their sigma window."""
+    csr = CSRMatrix.from_arrays(
+        list(range(8)) * 3,
+        [0, 1, 2] * 8,
+        [1.0] * 24,
+        (8, 3),
+    )
+    m = SellCSigmaMatrix.from_csr(csr, chunk=2, sigma=4)
+    for start in range(0, 8, 4):
+        window = m.row_perm[start : start + 4]
+        assert set(window.tolist()) == set(range(start, start + 4))
+
+
+def test_uniform_rows_no_padding(banded_csr):
+    # banded has near-constant row length -> minimal padding
+    m = SellCSigmaMatrix.from_csr(banded_csr, chunk=8)
+    assert m.padding_ratio < 1.1
+
+
+def test_nnz_excludes_padding(skewed_csr):
+    m = SellCSigmaMatrix.from_csr(skewed_csr, chunk=8)
+    assert m.nnz == skewed_csr.nnz
+    assert m.stored_elements >= m.nnz
+
+
+def test_empty_and_empty_rows(empty_row_csr):
+    m = SellCSigmaMatrix.from_csr(empty_row_csr, chunk=4)
+    x = np.ones(6)
+    np.testing.assert_allclose(m.matvec(x), empty_row_csr.matvec(x))
+
+
+def test_chunk_validation():
+    with pytest.raises(ValueError):
+        SellCSigmaMatrix.from_csr(
+            CSRMatrix([0, 0], np.zeros(0, np.int32), np.zeros(0), (1, 1)),
+            chunk=0,
+        )
+
+
+def test_bytes_accounting(banded_csr):
+    m = SellCSigmaMatrix.from_csr(banded_csr, chunk=8)
+    assert m.value_nbytes() == m.stored_elements * 8
+    assert m.index_nbytes() > 0

@@ -1,0 +1,122 @@
+"""Unit tests for the shared per-row cost model."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.costmodel import (
+    row_compute_cycles,
+    row_stream_bytes,
+    spmv_cost,
+)
+from repro.machine import KNC, BROADWELL
+from repro.sched import balanced_nnz
+
+
+def test_scalar_cycles_linear_in_nnz():
+    nnz = np.array([0, 1, 10, 100])
+    c = row_compute_cycles(nnz, KNC)
+    assert c[0] == KNC.row_overhead_cycles        # empty rows pay bookkeeping
+    # marginal cost per nnz equals the scalar rate
+    assert (c[3] - c[2]) / 90 == pytest.approx(KNC.scalar_cycles_per_nnz)
+
+
+def test_vectorized_long_rows_cheaper_than_scalar():
+    nnz = np.array([400])
+    scalar = row_compute_cycles(nnz, KNC)
+    vector = row_compute_cycles(nnz, KNC, vectorize=True)
+    assert vector[0] < scalar[0]
+
+
+def test_vectorized_short_rows_can_lose():
+    nnz = np.array([2])
+    scalar = row_compute_cycles(nnz, KNC)
+    vector = row_compute_cycles(nnz, KNC, vectorize=True)
+    # one masked SIMD iteration + higher overhead vs 2 scalar elements
+    assert vector[0] > scalar[0] * 0.8  # never dramatically cheaper
+
+
+def test_vector_tail_quantization():
+    # 9 nnz needs 2 SIMD iterations of 8; 16 nnz also needs 2
+    c9 = row_compute_cycles(np.array([9]), KNC, vectorize=True)
+    c16 = row_compute_cycles(np.array([16]), KNC, vectorize=True)
+    assert c9[0] == pytest.approx(c16[0])
+
+
+def test_unroll_only_helps_long_vector_rows():
+    short = np.array([8])
+    long = np.array([640])
+    v = row_compute_cycles(long, KNC, vectorize=True)
+    vu = row_compute_cycles(long, KNC, vectorize=True, unroll=True)
+    assert vu[0] < v[0]
+    vs = row_compute_cycles(short, KNC, vectorize=True)
+    vus = row_compute_cycles(short, KNC, vectorize=True, unroll=True)
+    assert vus[0] == pytest.approx(vs[0])
+
+
+def test_prefetch_and_decode_add_linear_overhead():
+    nnz = np.array([100])
+    base = row_compute_cycles(nnz, KNC)
+    pf = row_compute_cycles(nnz, KNC, prefetch=True)
+    dec = row_compute_cycles(nnz, KNC, decode=True)
+    assert pf[0] == pytest.approx(base[0] + 100 * KNC.prefetch_issue_cycles)
+    assert dec[0] == pytest.approx(base[0] + 100 * KNC.decode_cycles_per_nnz)
+
+
+def test_regular_x_modes_cheaper_than_gather():
+    nnz = np.array([64])
+    gather = row_compute_cycles(nnz, KNC, vectorize=True, x_mode="gather")
+    unit = row_compute_cycles(nnz, KNC, vectorize=True, x_mode="unit")
+    assert unit[0] < gather[0]
+
+
+def test_x_mode_validation():
+    with pytest.raises(ValueError):
+        row_compute_cycles(np.array([1]), KNC, x_mode="banana")
+
+
+def test_stream_bytes_accounting():
+    nnz = np.array([10])
+    b = row_stream_bytes(nnz, index_bytes_per_nnz=4.0, x_mode="sequential")
+    # 10 * (8 + 4) + rowptr 8 + y 16 + x 8
+    assert b[0] == pytest.approx(10 * 12 + 8 + 16 + 8)
+
+
+def test_stream_bytes_compressed_index():
+    nnz = np.array([10])
+    full = row_stream_bytes(nnz, index_bytes_per_nnz=4.0, x_mode="unit")
+    delta = row_stream_bytes(nnz, index_bytes_per_nnz=1.0, x_mode="unit")
+    assert full[0] - delta[0] == pytest.approx(30.0)
+
+
+def test_spmv_cost_thread_aggregation(banded_csr):
+    part = balanced_nnz(banded_csr, 4)
+    cost = spmv_cost(banded_csr, KNC, part)
+    assert cost.compute_cycles.shape == (4,)
+    # all rows accounted for: totals match an 1-thread partition
+    part1 = balanced_nnz(banded_csr, 1)
+    cost1 = spmv_cost(banded_csr, KNC, part1)
+    assert cost.compute_cycles.sum() == pytest.approx(
+        cost1.compute_cycles.sum()
+    )
+    assert cost.stream_bytes.sum() == pytest.approx(cost1.stream_bytes.sum())
+
+
+def test_spmv_cost_partition_shape_mismatch(banded_csr, skewed_csr):
+    part = balanced_nnz(skewed_csr, 4)
+    with pytest.raises(ValueError):
+        spmv_cost(banded_csr, KNC, part)
+
+
+def test_working_set_override(banded_csr):
+    part = balanced_nnz(banded_csr, 4)
+    cost = spmv_cost(banded_csr, KNC, part, working_set_bytes=123.0)
+    assert cost.working_set_bytes == 123.0
+
+
+def test_platform_sensitivity(banded_csr):
+    """Same matrix, same kernel: the weaker scalar core must need more
+    cycles per nonzero."""
+    part = balanced_nnz(banded_csr, 4)
+    knc = spmv_cost(banded_csr, KNC, part).compute_cycles.sum()
+    bdw = spmv_cost(banded_csr, BROADWELL, part).compute_cycles.sum()
+    assert knc > 2 * bdw

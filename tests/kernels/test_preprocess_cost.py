@@ -1,0 +1,48 @@
+"""Unit tests for the simulated preprocessing cost models."""
+
+import pytest
+
+from repro.kernels import (
+    JIT_CODEGEN_SECONDS,
+    decomposition_seconds,
+    delta_conversion_seconds,
+    feature_extraction_seconds,
+    pass_seconds,
+)
+from repro.machine import KNC, KNL
+
+
+def test_pass_seconds_scales_with_bytes():
+    assert pass_seconds(2e9, KNC) > pass_seconds(1e9, KNC)
+    # fixed overhead floor
+    assert pass_seconds(0.0, KNC) > 0.0
+
+
+def test_pass_seconds_faster_on_higher_bandwidth():
+    assert pass_seconds(1e9, KNL) < pass_seconds(1e9, KNC)
+
+
+def test_conversion_costs_scale_with_matrix(banded_csr, skewed_csr):
+    small = skewed_csr  # ~12k nnz
+    big = banded_csr    # ~18k nnz
+    assert delta_conversion_seconds(big, KNC) > 0
+    assert decomposition_seconds(big, KNC) > delta_conversion_seconds(
+        big, KNC
+    ) * 0.2  # same order of magnitude
+    del small
+
+
+def test_feature_extraction_complexity_ordering(banded_csr):
+    o1 = feature_extraction_seconds(banded_csr, KNC, "O(1)")
+    on = feature_extraction_seconds(banded_csr, KNC, "O(N)")
+    onnz = feature_extraction_seconds(banded_csr, KNC, "O(NNZ)")
+    assert o1 <= on <= onnz
+
+
+def test_feature_extraction_unknown_class(banded_csr):
+    with pytest.raises(ValueError):
+        feature_extraction_seconds(banded_csr, KNC, "O(N log N)")
+
+
+def test_codegen_constant_is_sane():
+    assert 0.001 <= JIT_CODEGEN_SECONDS <= 0.1

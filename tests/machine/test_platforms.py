@@ -1,0 +1,40 @@
+"""Unit tests for the platform definitions (paper Table III)."""
+
+import pytest
+
+from repro.machine import PLATFORMS, get_platform
+
+
+def test_table3_headline_numbers():
+    knc = get_platform("knc")
+    assert (knc.cores, knc.smt, knc.freq_ghz) == (57, 4, 1.10)
+    assert (knc.bw_main_gbs, knc.bw_llc_gbs) == (128.0, 140.0)
+    knl = get_platform("knl")
+    assert (knl.cores, knl.smt, knl.freq_ghz) == (68, 4, 1.40)
+    assert (knl.bw_main_gbs, knl.bw_llc_gbs) == (395.0, 570.0)
+    bdw = get_platform("broadwell")
+    assert (bdw.cores, bdw.smt, bdw.freq_ghz) == (22, 2, 2.20)
+    assert (bdw.bw_main_gbs, bdw.bw_llc_gbs) == (60.0, 200.0)
+    assert bdw.llc_mib == 55.0
+
+
+def test_qualitative_statements_hold():
+    knc, knl, bdw = (get_platform(p) for p in ("knc", "knl", "broadwell"))
+    # "an order of magnitude higher [miss latency] compared to multicores"
+    assert knc.mem_latency_ns > 3 * bdw.mem_latency_ns
+    # in-order KNC, strong prefetch on Broadwell
+    assert knc.inorder and not bdw.inorder
+    assert bdw.hw_prefetch_eff > knl.hw_prefetch_eff > 0
+    # Phi SIMD twice as wide as Broadwell (512- vs 256-bit)
+    assert knc.simd_doubles == knl.simd_doubles == 2 * bdw.simd_doubles
+    # Broadwell hides many more misses per thread
+    assert bdw.mlp > knl.mlp > knc.mlp
+
+
+def test_lookup_case_insensitive():
+    assert get_platform("KNL") is PLATFORMS["knl"]
+
+
+def test_lookup_unknown():
+    with pytest.raises(ValueError, match="unknown platform"):
+        get_platform("skylake")

@@ -1,0 +1,28 @@
+"""Unit tests for the STREAM triad calibration bench."""
+
+import pytest
+
+from repro.machine import KNC, KNL, BROADWELL, stream_table, stream_triad
+
+
+def test_triad_recovers_spec_main_bandwidth():
+    for spec in (KNC, KNL, BROADWELL):
+        table = stream_table(spec)
+        assert table["main_gbs"] == pytest.approx(spec.bw_main_gbs, rel=0.02)
+        assert table["llc_gbs"] == pytest.approx(spec.bw_llc_gbs, rel=0.05)
+
+
+def test_triad_working_set_accounting():
+    r = stream_triad(KNC, array_elems=1000)
+    assert r.working_set_bytes == 3 * 8 * 1000
+    assert r.seconds > 0
+
+
+def test_triad_tiny_arrays_overhead_dominated():
+    tiny = stream_triad(KNC, array_elems=10)
+    assert tiny.bandwidth_gbs < KNC.bw_llc_gbs * 0.1  # launch cost dominates
+
+
+def test_triad_validates_input():
+    with pytest.raises(ValueError):
+        stream_triad(KNC, array_elems=0)

@@ -1,0 +1,158 @@
+"""Unit tests for the synthetic matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import generators as gen
+from repro.matrices.stats import gini_coefficient
+
+
+def test_banded_structure():
+    A = gen.banded(500, nnz_per_row=9, bandwidth=20, seed=1)
+    assert A.shape == (500, 500)
+    bw = A.row_bandwidths()
+    # interior rows stay within the requested band
+    assert bw[100:400].max() <= 24
+    nnz = A.row_nnz()
+    assert 5 <= nnz.mean() <= 9.5  # clipping/merging can shrink edge rows
+
+
+def test_banded_determinism():
+    a = gen.banded(300, seed=42)
+    b = gen.banded(300, seed=42)
+    np.testing.assert_array_equal(a.colind, b.colind)
+    np.testing.assert_array_equal(a.values, b.values)
+
+
+def test_banded_seed_changes_matrix():
+    a = gen.banded(300, jitter=2.0, seed=1)
+    b = gen.banded(300, jitter=2.0, seed=2)
+    assert not np.array_equal(a.colind, b.colind)
+
+
+def test_laplacian_1d():
+    A = gen.laplacian_1d(50).to_dense()
+    assert np.allclose(A, A.T)
+    assert np.all(np.diag(A) == 2.0)
+    eigs = np.linalg.eigvalsh(A)
+    assert eigs.min() > 0  # SPD
+
+
+def test_poisson2d_spd():
+    A = gen.poisson2d(12)
+    assert A.shape == (144, 144)
+    dense = A.to_dense()
+    assert np.allclose(dense, dense.T)
+    assert np.linalg.eigvalsh(dense).min() > 0
+    assert A.row_nnz().max() == 5
+
+
+def test_stencil27_interior_rows():
+    A = gen.stencil27(6)
+    assert A.shape == (216, 216)
+    nnz = A.row_nnz()
+    assert nnz.max() == 27            # interior
+    assert nnz.min() == 8             # corners
+
+
+def test_fem_like_block_structure():
+    A = gen.fem_like(300, block=3, neighbors=4, reach=10, seed=3)
+    assert A.nrows % 3 == 0
+    # diagonal blocks always present
+    dense = A.to_dense()
+    for b in range(0, A.nrows, 3):
+        assert np.all(dense[b : b + 3, b : b + 3] != 0)
+
+
+def test_random_uniform_scatter():
+    A = gen.random_uniform(2000, nnz_per_row=10.0, seed=4)
+    # columns roughly uniform: mean near center
+    assert abs(A.colind.mean() - 1000) < 60
+    assert abs(A.row_nnz().mean() - 10.0) < 1.0
+
+
+def test_random_uniform_rectangular():
+    A = gen.random_uniform(100, nnz_per_row=5.0, ncols=400, seed=5)
+    assert A.shape == (100, 400)
+    assert A.colind.max() < 400
+
+
+def test_power_law_skew():
+    A = gen.power_law(3000, avg_deg=8.0, alpha=2.0, seed=6)
+    nnz = A.row_nnz()
+    assert gini_coefficient(nnz) > 0.3     # heavy tail
+    assert nnz.max() > 12 * nnz.mean()
+
+
+def test_power_law_avg_degree_targeted():
+    A = gen.power_law(5000, avg_deg=10.0, alpha=2.2, seed=7)
+    # duplicate merging shrinks it somewhat; stay in the ballpark
+    assert 5.0 <= A.row_nnz().mean() <= 11.0
+
+
+def test_power_law_validates_alpha():
+    with pytest.raises(ValueError, match="alpha"):
+        gen.power_law(100, alpha=0.9)
+
+
+def test_with_dense_rows():
+    base = gen.banded(1000, nnz_per_row=4, bandwidth=8, seed=8)
+    A = gen.with_dense_rows(base, n_dense=3, dense_nnz=600, seed=9)
+    nnz = A.row_nnz()
+    assert np.count_nonzero(nnz > 300) == 3
+    assert A.shape == base.shape
+
+
+def test_short_rows_profile():
+    A = gen.short_rows(3000, avg_nnz=3.0, frac_empty=0.15, seed=10)
+    nnz = A.row_nnz()
+    empty_frac = np.mean(nnz == 0)
+    assert 0.1 <= empty_frac <= 0.25
+    assert np.median(nnz[nnz > 0]) <= 4
+
+
+def test_kronecker_graph():
+    A = gen.kronecker_graph(10, edge_factor=8, seed=11)
+    assert A.shape == (1024, 1024)
+    assert gini_coefficient(A.row_nnz()) > 0.4
+
+
+def test_kronecker_validates_probs():
+    with pytest.raises(ValueError):
+        gen.kronecker_graph(8, a=0.5, b=0.4, c=0.4)
+
+
+def test_diagonal_blocks():
+    A = gen.diagonal_blocks(512, block=64, fill=0.5, seed=12)
+    # no nonzero outside the blocks
+    rows = A.row_ids_per_nnz()
+    cols = A.colind.astype(np.int64)
+    assert np.all(rows // 64 == cols // 64)
+
+
+def test_vstack_concatenates():
+    top = gen.banded(100, nnz_per_row=4, bandwidth=8, seed=13)
+    bottom = gen.random_uniform(50, nnz_per_row=4.0, ncols=100, seed=14)
+    A = gen.vstack([top, bottom])
+    assert A.shape == (150, 100)
+    assert A.nnz == top.nnz + bottom.nnz
+    x = np.linspace(0, 1, 100)
+    np.testing.assert_allclose(A.matvec(x)[:100], top.matvec(x))
+    np.testing.assert_allclose(A.matvec(x)[100:], bottom.matvec(x))
+
+
+def test_vstack_rejects_mismatched_cols():
+    with pytest.raises(ValueError, match="column count"):
+        gen.vstack([gen.banded(10), gen.banded(20)])
+
+
+def test_vstack_rejects_empty():
+    with pytest.raises(ValueError):
+        gen.vstack([])
+
+
+def test_generators_validate_positive_sizes():
+    for fn in (gen.banded, gen.random_uniform, gen.short_rows,
+               gen.power_law, gen.fem_like, gen.diagonal_blocks):
+        with pytest.raises(ValueError):
+            fn(0)

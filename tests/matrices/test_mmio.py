@@ -1,0 +1,130 @@
+"""Unit tests for Matrix Market I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.matrices import (
+    MatrixMarketError,
+    read_matrix_market,
+    write_matrix_market,
+)
+
+GENERAL = """%%MatrixMarket matrix coordinate real general
+% a comment
+3 4 5
+1 1 2.5
+1 4 -1.0
+2 2 3.0
+3 1 4.0
+3 3 0.5
+"""
+
+SYMMETRIC = """%%MatrixMarket matrix coordinate real symmetric
+3 3 4
+1 1 1.0
+2 1 2.0
+3 2 3.0
+3 3 4.0
+"""
+
+PATTERN = """%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+"""
+
+SKEW = """%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 5.0
+"""
+
+
+def test_read_general():
+    A = read_matrix_market(io.StringIO(GENERAL))
+    assert A.shape == (3, 4)
+    assert A.nnz == 5
+    dense = A.to_dense()
+    assert dense[0, 0] == 2.5
+    assert dense[0, 3] == -1.0
+    assert dense[2, 2] == 0.5
+
+
+def test_read_symmetric_expands():
+    A = read_matrix_market(io.StringIO(SYMMETRIC))
+    dense = A.to_dense()
+    assert A.nnz == 6  # 4 stored + 2 mirrored off-diagonals
+    np.testing.assert_allclose(dense, dense.T)
+    assert dense[0, 1] == 2.0 and dense[1, 0] == 2.0
+
+
+def test_read_skew_symmetric():
+    A = read_matrix_market(io.StringIO(SKEW)).to_dense()
+    assert A[1, 0] == 5.0 and A[0, 1] == -5.0
+
+
+def test_read_pattern_gets_unit_values():
+    A = read_matrix_market(io.StringIO(PATTERN))
+    np.testing.assert_array_equal(A.values, [1.0, 1.0])
+
+
+def test_read_from_string_body():
+    A = read_matrix_market(GENERAL)
+    assert A.nnz == 5
+
+
+def test_roundtrip_via_file(tmp_path, small_random_csr):
+    path = tmp_path / "m.mtx"
+    write_matrix_market(small_random_csr, path, comment="roundtrip test")
+    back = read_matrix_market(path)
+    assert back.shape == small_random_csr.shape
+    np.testing.assert_array_equal(back.colind, small_random_csr.colind)
+    np.testing.assert_allclose(back.values, small_random_csr.values)
+
+
+def test_write_header_and_comment(tmp_path, banded_csr):
+    path = tmp_path / "b.mtx"
+    write_matrix_market(banded_csr, path, comment="hello\nworld")
+    text = path.read_text()
+    assert text.startswith("%%MatrixMarket matrix coordinate real general")
+    assert "% hello" in text and "% world" in text
+
+
+def test_missing_header_rejected():
+    with pytest.raises(MatrixMarketError, match="header"):
+        read_matrix_market(io.StringIO("1 1 1\n1 1 2.0\n"))
+
+
+def test_wrong_object_rejected():
+    bad = "%%MatrixMarket vector coordinate real general\n1 1 1\n"
+    with pytest.raises(MatrixMarketError):
+        read_matrix_market(io.StringIO(bad))
+
+
+def test_unsupported_field_rejected():
+    bad = "%%MatrixMarket matrix coordinate complex general\n1 1 0\n"
+    with pytest.raises(MatrixMarketError, match="field"):
+        read_matrix_market(io.StringIO(bad))
+
+
+def test_entry_count_mismatch_rejected():
+    bad = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n"
+    with pytest.raises(MatrixMarketError, match="entries"):
+        read_matrix_market(io.StringIO(bad))
+
+
+def test_malformed_size_line_rejected():
+    bad = "%%MatrixMarket matrix coordinate real general\nfoo bar\n"
+    with pytest.raises(MatrixMarketError, match="size line"):
+        read_matrix_market(io.StringIO(bad))
+
+
+def test_empty_matrix_roundtrip(tmp_path):
+    from repro.formats import CSRMatrix
+
+    empty = CSRMatrix([0, 0], np.zeros(0, np.int32), np.zeros(0), (1, 2))
+    path = tmp_path / "e.mtx"
+    write_matrix_market(empty, path)
+    back = read_matrix_market(path)
+    assert back.nnz == 0 and back.shape == (1, 2)

@@ -1,0 +1,83 @@
+"""Unit tests for the named paper-analogue suite."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import (
+    NAMED_SUITE,
+    load_suite,
+    matrix_stats,
+    named_matrix,
+    suite_names,
+)
+
+SCALE = 0.1  # keep suite construction fast in unit tests
+
+
+def test_suite_covers_paper_matrices():
+    names = suite_names()
+    for paper_name in (
+        "consph", "boneS10", "nd24k", "poisson3Db", "parabolic_fem",
+        "offshore", "thermal2", "citationCiteseer", "web-Google",
+        "webbase-1M", "flickr", "ASIC_680k", "rajat30", "FullChip",
+        "circuit5M", "degme", "human_gene1",
+    ):
+        assert paper_name in names
+
+
+def test_all_specs_build(
+):
+    for spec, csr in load_suite(scale=SCALE):
+        assert csr.nnz > 0
+        assert csr.nrows > 0
+
+
+def test_named_matrix_lookup():
+    a = named_matrix("consph", scale=SCALE)
+    b = named_matrix("consph", scale=SCALE)
+    np.testing.assert_array_equal(a.colind, b.colind)  # deterministic
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(ValueError, match="unknown matrix"):
+        named_matrix("nosuchmatrix")
+
+
+def test_scale_bounds():
+    spec = NAMED_SUITE[0]
+    with pytest.raises(ValueError, match="scale"):
+        spec(0.0)
+    with pytest.raises(ValueError, match="scale"):
+        spec(9.0)
+
+
+def test_scale_grows_matrices():
+    small = named_matrix("boneS10", scale=0.1)
+    big = named_matrix("boneS10", scale=0.2)
+    assert big.nrows > small.nrows
+
+
+def test_expected_classes_reference_valid_names():
+    valid = {"MB", "ML", "IMB", "CMP"}
+    for spec in NAMED_SUITE:
+        for platform, classes in spec.expected_classes.items():
+            assert platform in ("knc", "knl", "broadwell")
+            assert set(classes) <= valid
+
+
+def test_structural_archetypes_hold():
+    """The analogues must have the structure their originals are known
+    for — this is what makes the substitution valid (DESIGN.md §2)."""
+    skew_circuit = matrix_stats(named_matrix("ASIC_680k", scale=SCALE))
+    regular = matrix_stats(named_matrix("consph", scale=SCALE))
+    web = matrix_stats(named_matrix("webbase-1M", scale=SCALE))
+    assert skew_circuit.row_skew_gini > 0.2
+    assert skew_circuit.nnz_per_row_max > 50 * skew_circuit.nnz_per_row_mean
+    assert regular.row_skew_gini < 0.15
+    assert web.nnz_per_row_median <= 4
+
+
+def test_load_suite_subset_order():
+    names = ("nd24k", "flickr")
+    got = [spec.name for spec, _ in load_suite(scale=SCALE, names=names)]
+    assert got == list(names)

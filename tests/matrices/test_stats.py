@@ -1,0 +1,63 @@
+"""Unit tests for matrix statistics."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix
+from repro.matrices import gini_coefficient, matrix_stats
+from repro.matrices.stats import is_structurally_symmetric
+
+
+def test_gini_uniform_is_zero():
+    assert gini_coefficient(np.full(100, 7.0)) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_gini_concentrated_is_high():
+    x = np.zeros(100)
+    x[0] = 100.0
+    assert gini_coefficient(x) > 0.95
+
+
+def test_gini_rejects_negative():
+    with pytest.raises(ValueError):
+        gini_coefficient(np.array([-1.0, 2.0]))
+
+
+def test_gini_empty_and_zero():
+    assert gini_coefficient(np.zeros(0)) == 0.0
+    assert gini_coefficient(np.zeros(5)) == 0.0
+
+
+def test_matrix_stats_values(empty_row_csr):
+    s = matrix_stats(empty_row_csr)
+    assert s.nrows == 6 and s.ncols == 6 and s.nnz == 10
+    assert s.empty_rows == 3
+    assert s.nnz_per_row_max == 6
+    assert s.bytes_csr == empty_row_csr.total_nbytes()
+
+
+def test_matrix_stats_describe(empty_row_csr):
+    text = matrix_stats(empty_row_csr).describe()
+    assert "6 x 6" in text
+    assert "empty rows" in text
+
+
+def test_symmetry_detection():
+    sym = CSRMatrix.from_arrays(
+        [0, 1, 0, 1], [1, 0, 0, 1], [1.0, 1.0, 2.0, 3.0], (2, 2)
+    )
+    assert is_structurally_symmetric(sym)
+    asym = CSRMatrix.from_arrays([0], [1], [1.0], (2, 2))
+    assert not is_structurally_symmetric(asym)
+
+
+def test_symmetry_rectangular_is_false():
+    m = CSRMatrix.from_arrays([0], [1], [1.0], (2, 3))
+    assert not is_structurally_symmetric(m)
+
+
+def test_skew_ordering(banded_csr, skewed_csr):
+    assert (
+        matrix_stats(skewed_csr).row_skew_gini
+        > matrix_stats(banded_csr).row_skew_gini
+    )

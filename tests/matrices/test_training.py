@@ -1,0 +1,54 @@
+"""Unit tests for the training corpus."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import TRAINING_FAMILIES, training_suite
+
+
+def test_deterministic():
+    a = training_suite(count=12, seed=5, min_rows=2000, max_rows=4000)
+    b = training_suite(count=12, seed=5, min_rows=2000, max_rows=4000)
+    for ta, tb in zip(a, b):
+        assert ta.name == tb.name
+        np.testing.assert_array_equal(ta.matrix.colind, tb.matrix.colind)
+
+
+def test_families_round_robin():
+    suite = training_suite(count=len(TRAINING_FAMILIES) * 2, seed=1,
+                           min_rows=2000, max_rows=3000)
+    families = [t.family for t in suite]
+    assert set(families) == set(TRAINING_FAMILIES)
+    # each family appears exactly twice
+    for fam in TRAINING_FAMILIES:
+        assert families.count(fam) == 2
+
+
+def test_each_family_produces_valid_matrix():
+    rng = np.random.default_rng(0)
+    for family, sampler in TRAINING_FAMILIES.items():
+        m = sampler(rng, 3000)
+        assert m.nnz > 0, family
+        assert m.nrows >= 256, family
+
+
+def test_count_validation():
+    with pytest.raises(ValueError):
+        training_suite(count=0)
+
+
+def test_names_are_unique():
+    suite = training_suite(count=25, seed=2, min_rows=2000, max_rows=3000)
+    names = [t.name for t in suite]
+    assert len(set(names)) == len(names)
+
+
+def test_structural_diversity():
+    """The corpus must span skewed and regular matrices (the paper
+    chose 210 matrices precisely to avoid bias to one pattern)."""
+    from repro.matrices.stats import gini_coefficient
+
+    suite = training_suite(count=20, seed=3, min_rows=3000, max_rows=6000)
+    ginis = [gini_coefficient(t.matrix.row_nnz()) for t in suite]
+    assert min(ginis) < 0.1
+    assert max(ginis) > 0.4

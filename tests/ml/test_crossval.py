@@ -1,0 +1,68 @@
+"""Unit tests for cross validation."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTree, k_fold, leave_one_out
+
+
+def _separable(n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(n, 2))
+    Y = np.stack([X[:, 0] > 0.5, X[:, 1] > 0.5], axis=1).astype(int)
+    return X, Y
+
+
+def test_loo_high_accuracy_on_separable():
+    X, Y = _separable(60)
+    res = leave_one_out(X, Y)
+    assert res.exact_match > 0.8
+    assert res.partial_match >= res.exact_match
+    assert res.n_splits == 60
+
+
+def test_loo_poor_on_noise():
+    rng = np.random.default_rng(1)
+    X = rng.standard_normal((40, 2))
+    Y = rng.integers(0, 2, size=(40, 2))
+    res = leave_one_out(X, Y)
+    assert res.exact_match < 0.7
+
+
+def test_kfold_runs_and_reports():
+    X, Y = _separable(50, seed=2)
+    res = k_fold(X, Y, k=5)
+    assert res.n_splits == 5
+    assert 0.0 <= res.exact_match <= 1.0
+
+
+def test_kfold_validates_k():
+    X, Y = _separable(10)
+    with pytest.raises(ValueError):
+        k_fold(X, Y, k=1)
+    with pytest.raises(ValueError):
+        k_fold(X, Y, k=11)
+
+
+def test_loo_needs_two_samples():
+    with pytest.raises(ValueError):
+        leave_one_out(np.zeros((1, 2)), np.zeros((1, 1)))
+
+
+def test_custom_tree_factory_used():
+    X, Y = _separable(30, seed=3)
+    res_shallow = k_fold(
+        X, Y, k=5,
+        tree_factory=lambda: DecisionTree(max_depth=1),
+    )
+    res_deep = k_fold(
+        X, Y, k=5,
+        tree_factory=lambda: DecisionTree(max_depth=6, min_samples_leaf=1),
+    )
+    # two independent labels cannot be captured by one split
+    assert res_deep.exact_match >= res_shallow.exact_match
+
+
+def test_cvresult_str():
+    X, Y = _separable(20, seed=4)
+    assert "exact=" in str(k_fold(X, Y, k=4))

@@ -1,0 +1,54 @@
+"""Unit tests for exhaustive feature-subset search."""
+
+import numpy as np
+import pytest
+
+from repro.ml import search_feature_subsets
+
+
+def _corpus(seed=0, n=60):
+    """Features f0, f1 carry the labels; f2 is pure noise."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(n, 3))
+    Y = np.stack([X[:, 0] > 0.5, X[:, 1] > 0.5], axis=1).astype(int)
+    return X, Y
+
+
+def test_search_finds_informative_subset():
+    X, Y = _corpus()
+    top = search_feature_subsets(
+        X, Y, ("f0", "f1", "noise"), min_size=2, max_size=2, k=5
+    )
+    assert top[0].features == ("f0", "f1")
+
+
+def test_search_ranking_sorted():
+    X, Y = _corpus(seed=1)
+    top = search_feature_subsets(X, Y, ("a", "b", "c"),
+                                 min_size=1, max_size=3, k=5, top=20)
+    exacts = [s.exact for s in top]
+    assert exacts == sorted(exacts, reverse=True)
+
+
+def test_search_loo_method():
+    X, Y = _corpus(seed=2, n=25)
+    top = search_feature_subsets(X, Y, ("a", "b", "c"),
+                                 min_size=2, max_size=2, method="loo")
+    assert top[0].result.n_splits == 25
+
+
+def test_search_validates_inputs():
+    X, Y = _corpus()
+    with pytest.raises(ValueError):
+        search_feature_subsets(X, Y, ("a", "b"))       # name count mismatch
+    with pytest.raises(ValueError):
+        search_feature_subsets(X, Y, ("a", "b", "c"), min_size=0)
+    with pytest.raises(ValueError):
+        search_feature_subsets(X, Y, ("a", "b", "c"), method="bootstrap")
+
+
+def test_top_limits_results():
+    X, Y = _corpus(seed=3)
+    top = search_feature_subsets(X, Y, ("a", "b", "c"),
+                                 min_size=1, max_size=3, top=2)
+    assert len(top) == 2

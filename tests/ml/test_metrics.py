@@ -1,0 +1,57 @@
+"""Unit tests for multilabel metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml import exact_match_ratio, partial_match_ratio, per_label_accuracy
+
+
+def test_exact_match_basic():
+    y = np.array([[1, 0], [0, 1], [1, 1]])
+    p = np.array([[1, 0], [1, 1], [1, 1]])
+    assert exact_match_ratio(y, p) == pytest.approx(2 / 3)
+
+
+def test_partial_match_counts_overlap():
+    y = np.array([[1, 1, 0]])
+    p = np.array([[0, 1, 1]])   # one shared positive -> partial credit
+    assert partial_match_ratio(y, p) == 1.0
+    assert exact_match_ratio(y, p) == 0.0
+
+
+def test_partial_match_no_overlap():
+    y = np.array([[1, 0]])
+    p = np.array([[0, 1]])
+    assert partial_match_ratio(y, p) == 0.0
+
+
+def test_dummy_class_semantics():
+    """Empty truth matches only an empty prediction."""
+    y = np.array([[0, 0], [0, 0]])
+    p = np.array([[0, 0], [1, 0]])
+    assert exact_match_ratio(y, p) == 0.5
+    assert partial_match_ratio(y, p) == 0.5
+
+
+def test_partial_geq_exact_always():
+    rng = np.random.default_rng(0)
+    y = rng.integers(0, 2, size=(50, 4))
+    p = rng.integers(0, 2, size=(50, 4))
+    assert partial_match_ratio(y, p) >= exact_match_ratio(y, p)
+
+
+def test_per_label_accuracy():
+    y = np.array([[1, 0], [1, 1]])
+    p = np.array([[1, 1], [1, 1]])
+    np.testing.assert_allclose(per_label_accuracy(y, p), [1.0, 0.5])
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        exact_match_ratio(np.zeros((2, 3)), np.zeros((2, 2)))
+    with pytest.raises(ValueError):
+        exact_match_ratio(np.zeros((0, 2)), np.zeros((0, 2)))
+
+
+def test_1d_inputs_promoted():
+    assert exact_match_ratio([1, 0, 1], [1, 0, 0]) == pytest.approx(2 / 3)

@@ -1,0 +1,139 @@
+"""Unit tests for the from-scratch CART decision tree."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTree
+
+
+def test_single_feature_threshold_split():
+    X = np.array([[0.0], [1.0], [2.0], [10.0], [11.0], [12.0]])
+    y = np.array([0, 0, 0, 1, 1, 1])
+    tree = DecisionTree().fit(X, y)
+    assert tree.depth == 1
+    assert tree.predict(np.array([[1.5]]))[0, 0] == 0
+    assert tree.predict(np.array([[10.5]]))[0, 0] == 1
+    # threshold sits between the classes
+    assert 2.0 < tree.root.threshold < 10.0
+
+
+def test_perfect_fit_on_training_data():
+    rng = np.random.default_rng(0)
+    X = rng.standard_normal((60, 3))
+    y = (X[:, 0] + X[:, 1] > 0).astype(int)
+    tree = DecisionTree().fit(X, y)
+    np.testing.assert_array_equal(tree.predict(X)[:, 0], y)
+
+
+def test_multilabel_fit_and_predict():
+    rng = np.random.default_rng(1)
+    X = rng.uniform(size=(120, 2))
+    Y = np.stack([X[:, 0] > 0.5, X[:, 1] > 0.5], axis=1).astype(int)
+    tree = DecisionTree().fit(X, Y)
+    preds = tree.predict(X)
+    assert preds.shape == (120, 2)
+    assert np.mean(np.all(preds == Y, axis=1)) > 0.95
+
+
+def test_xor_needs_depth_two():
+    X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+    y = np.array([0, 1, 1, 0])
+    shallow = DecisionTree(max_depth=1).fit(X, y)
+    deep = DecisionTree(max_depth=3, min_samples_leaf=1).fit(X, y)
+    assert np.any(shallow.predict(X)[:, 0] != y)
+    np.testing.assert_array_equal(deep.predict(X)[:, 0], y)
+
+
+def test_max_depth_respected():
+    rng = np.random.default_rng(2)
+    X = rng.standard_normal((200, 4))
+    y = (X @ rng.standard_normal(4) > 0).astype(int)
+    tree = DecisionTree(max_depth=3).fit(X, y)
+    assert tree.depth <= 3
+
+
+def test_min_samples_leaf_respected():
+    rng = np.random.default_rng(3)
+    X = rng.standard_normal((50, 2))
+    y = (X[:, 0] > 0).astype(int)
+    tree = DecisionTree(min_samples_leaf=10).fit(X, y)
+
+    def check(node):
+        if node.is_leaf:
+            assert node.n_samples >= 10
+        else:
+            check(node.left)
+            check(node.right)
+
+    check(tree.root)
+
+
+def test_pure_node_stops():
+    X = np.array([[1.0], [2.0], [3.0]])
+    y = np.array([1, 1, 1])
+    tree = DecisionTree().fit(X, y)
+    assert tree.root.is_leaf
+
+
+def test_constant_features_give_leaf():
+    X = np.ones((10, 2))
+    y = np.array([0, 1] * 5)
+    tree = DecisionTree().fit(X, y)
+    assert tree.root.is_leaf  # no valid split exists
+
+
+def test_predict_proba_fractions():
+    X = np.array([[0.0], [0.0], [0.0], [1.0]])
+    y = np.array([1, 1, 0, 0])
+    tree = DecisionTree(min_samples_leaf=3).fit(X, y)
+    # cannot split with leaf>=3 on 4 samples except 3/1... root may split
+    proba = tree.predict_proba(np.array([[0.0]]))
+    assert 0.0 <= proba[0, 0] <= 1.0
+
+
+def test_input_validation():
+    with pytest.raises(ValueError):
+        DecisionTree().fit(np.zeros((0, 2)), np.zeros((0,)))
+    with pytest.raises(ValueError):
+        DecisionTree().fit(np.zeros((3, 2)), np.zeros(4))
+    with pytest.raises(ValueError):
+        DecisionTree().fit(np.array([[np.nan]]), np.array([1]))
+    with pytest.raises(ValueError):
+        DecisionTree().fit(np.zeros(3), np.zeros(3))  # X must be 2-D
+
+
+def test_predict_before_fit():
+    with pytest.raises(RuntimeError):
+        DecisionTree().predict(np.zeros((1, 2)))
+
+
+def test_predict_feature_count_mismatch():
+    tree = DecisionTree().fit(np.zeros((4, 2)), np.array([0, 1, 0, 1]))
+    with pytest.raises(ValueError):
+        tree.predict(np.zeros((1, 5)))
+
+
+def test_feature_importances_identify_signal():
+    rng = np.random.default_rng(4)
+    X = rng.standard_normal((300, 3))
+    y = (X[:, 1] > 0).astype(int)   # only feature 1 matters
+    tree = DecisionTree(max_depth=4).fit(X, y)
+    imp = tree.feature_importances()
+    assert imp.shape == (3,)
+    assert imp[1] == imp.max()
+    assert imp.sum() == pytest.approx(1.0)
+
+
+def test_min_impurity_decrease_prunes():
+    rng = np.random.default_rng(5)
+    X = rng.standard_normal((100, 2))
+    y = rng.integers(0, 2, size=100)  # pure noise
+    strict = DecisionTree(min_impurity_decrease=0.2).fit(X, y)
+    loose = DecisionTree().fit(X, y)
+    assert strict.n_leaves <= loose.n_leaves
+
+
+def test_1d_labels_accepted():
+    tree = DecisionTree().fit(np.array([[0.0], [1.0]]), np.array([0, 1]))
+    assert tree.n_labels_ == 1
+    assert tree.predict(np.array([0.9]))[0, 0] == 1  # 1-D query row

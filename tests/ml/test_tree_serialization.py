@@ -1,0 +1,80 @@
+"""Tests for tree / classifier persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import FeatureGuidedClassifier
+from repro.machine import KNL
+from repro.matrices import training_suite
+from repro.ml import DecisionTree
+
+
+def _fitted_tree(seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(80, 3))
+    Y = np.stack([X[:, 0] > 0.5, X[:, 2] > 0.3], axis=1).astype(int)
+    return DecisionTree(max_depth=6, min_samples_leaf=2).fit(X, Y), X, Y
+
+
+def test_tree_roundtrip_predictions_identical():
+    tree, X, _ = _fitted_tree()
+    clone = DecisionTree.from_dict(tree.to_dict())
+    np.testing.assert_array_equal(clone.predict(X), tree.predict(X))
+    np.testing.assert_allclose(
+        clone.predict_proba(X), tree.predict_proba(X)
+    )
+
+
+def test_tree_dict_is_json_serializable():
+    tree, _, _ = _fitted_tree(seed=1)
+    payload = json.dumps(tree.to_dict())
+    clone = DecisionTree.from_dict(json.loads(payload))
+    assert clone.depth == tree.depth
+    assert clone.n_leaves == tree.n_leaves
+
+
+def test_unfitted_tree_rejects_serialization():
+    with pytest.raises(RuntimeError):
+        DecisionTree().to_dict()
+
+
+def test_classifier_save_load_roundtrip(tmp_path):
+    corpus = [
+        t.matrix
+        for t in training_suite(count=10, seed=31, min_rows=8_000,
+                                max_rows=20_000)
+    ]
+    clf = FeatureGuidedClassifier(KNL).fit_from_matrices(corpus)
+    path = tmp_path / "classifier.json"
+    clf.save(path)
+    loaded = FeatureGuidedClassifier.load(path)
+    assert loaded.machine.codename == "knl"
+    assert loaded.feature_names == clf.feature_names
+    for m in corpus[:4]:
+        assert loaded.classify(m) == clf.classify(m)
+
+
+def test_loaded_classifier_works_in_optimizer(tmp_path):
+    from repro.core import AdaptiveSpMV
+    from repro.matrices import named_matrix
+
+    corpus = [
+        t.matrix
+        for t in training_suite(count=10, seed=32, min_rows=8_000,
+                                max_rows=20_000)
+    ]
+    clf = FeatureGuidedClassifier(KNL).fit_from_matrices(corpus)
+    path = tmp_path / "clf.json"
+    clf.save(path)
+    loaded = FeatureGuidedClassifier.load(path)
+    opt = AdaptiveSpMV(KNL, classifier=loaded)
+    operator = opt.optimize(named_matrix("webbase-1M", scale=0.1))
+    assert operator.simulate().gflops > 0
+
+
+def test_untrained_classifier_save_rejected(tmp_path):
+    clf = FeatureGuidedClassifier(KNL)
+    with pytest.raises(RuntimeError):
+        clf.save(tmp_path / "x.json")

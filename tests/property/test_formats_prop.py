@@ -1,0 +1,116 @@
+"""Property-based tests on the sparse-format invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import (
+    COOMatrix,
+    CSRMatrix,
+    DecomposedCSR,
+    DeltaCSR,
+)
+
+
+@st.composite
+def sparse_matrices(draw, max_dim=40, max_nnz=200):
+    """Random sparse matrices as canonical CSR."""
+    nrows = draw(st.integers(1, max_dim))
+    ncols = draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, max_nnz))
+    rows = draw(
+        st.lists(st.integers(0, nrows - 1), min_size=nnz, max_size=nnz)
+    )
+    cols = draw(
+        st.lists(st.integers(0, ncols - 1), min_size=nnz, max_size=nnz)
+    )
+    values = draw(
+        st.lists(
+            st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    return CSRMatrix.from_coo(COOMatrix(rows, cols, values, (nrows, ncols)))
+
+
+@st.composite
+def vectors_for(draw, csr):
+    vals = draw(
+        st.lists(
+            st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+            min_size=csr.ncols,
+            max_size=csr.ncols,
+        )
+    )
+    return np.array(vals)
+
+
+@given(sparse_matrices())
+@settings(max_examples=60, deadline=None)
+def test_coo_csr_roundtrip(csr):
+    back = CSRMatrix.from_coo(csr.to_coo())
+    np.testing.assert_array_equal(back.rowptr, csr.rowptr)
+    np.testing.assert_array_equal(back.colind, csr.colind)
+    np.testing.assert_array_equal(back.values, csr.values)
+
+
+@given(sparse_matrices(), st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_matvec_matches_dense(csr, seed):
+    x = np.random.default_rng(seed).uniform(-1, 1, size=csr.ncols)
+    expected = csr.to_dense() @ x
+    np.testing.assert_allclose(csr.matvec(x), expected, rtol=1e-9,
+                               atol=1e-9)
+
+
+@given(sparse_matrices(), st.sampled_from([8, 16, None]))
+@settings(max_examples=60, deadline=None)
+def test_delta_roundtrip_any_width(csr, width):
+    d = DeltaCSR.from_csr(csr, width=width)
+    np.testing.assert_array_equal(d.decode_colind(), csr.colind)
+    np.testing.assert_array_equal(d.to_csr().rowptr, csr.rowptr)
+
+
+@given(sparse_matrices(), st.integers(1, 50))
+@settings(max_examples=60, deadline=None)
+def test_decomposition_partitions_nnz(csr, threshold):
+    d = DecomposedCSR.from_csr(csr, threshold=threshold)
+    # every nonzero lands in exactly one part
+    assert d.short.nnz + d.long_nnz == csr.nnz
+    # long rows are exactly those over the threshold
+    expected_long = np.flatnonzero(csr.row_nnz() > threshold)
+    np.testing.assert_array_equal(d.long_rows, expected_long)
+    # short part never keeps a long row
+    assert np.all(d.short.row_nnz()[expected_long] == 0)
+
+
+@given(sparse_matrices(), st.integers(1, 50), st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_decomposed_matvec_equals_csr(csr, threshold, seed):
+    d = DecomposedCSR.from_csr(csr, threshold=threshold)
+    x = np.random.default_rng(seed).uniform(-1, 1, size=csr.ncols)
+    np.testing.assert_allclose(d.matvec(x), csr.matvec(x), rtol=1e-9,
+                               atol=1e-9)
+
+
+@given(sparse_matrices())
+@settings(max_examples=60, deadline=None)
+def test_transpose_involution(csr):
+    tt = csr.transpose().transpose()
+    np.testing.assert_array_equal(tt.rowptr, csr.rowptr)
+    np.testing.assert_array_equal(tt.colind, csr.colind)
+    np.testing.assert_allclose(tt.values, csr.values)
+
+
+@given(sparse_matrices())
+@settings(max_examples=60, deadline=None)
+def test_row_structure_invariants(csr):
+    nnz = csr.row_nnz()
+    assert nnz.sum() == csr.nnz
+    bw = csr.row_bandwidths()
+    assert np.all(bw >= 0)
+    assert np.all(bw[nnz <= 1] == 0)
+    assert np.all(bw < csr.ncols)
+    gaps = csr.column_gaps()
+    assert np.all(gaps >= 0)  # canonical order -> nonnegative in-row gaps

@@ -1,0 +1,93 @@
+"""Property-based tests on the CART tree and multilabel metrics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    DecisionTree,
+    exact_match_ratio,
+    partial_match_ratio,
+)
+
+
+@st.composite
+def datasets(draw, max_n=60, max_f=4, max_l=3):
+    n = draw(st.integers(2, max_n))
+    f = draw(st.integers(1, max_f))
+    l = draw(st.integers(1, max_l))
+    # width=32: distinct float32 values always have a float64 midpoint
+    # strictly between them, so threshold splits can separate any two
+    # distinct feature rows (denormal float64 pairs cannot be split).
+    X = np.array(
+        draw(
+            st.lists(
+                st.lists(
+                    st.floats(-10, 10, allow_nan=False,
+                              allow_infinity=False, width=32),
+                    min_size=f, max_size=f,
+                ),
+                min_size=n, max_size=n,
+            )
+        )
+    )
+    Y = np.array(
+        draw(
+            st.lists(
+                st.lists(st.integers(0, 1), min_size=l, max_size=l),
+                min_size=n, max_size=n,
+            )
+        )
+    )
+    return X, Y
+
+
+@given(datasets())
+@settings(max_examples=50, deadline=None)
+def test_fit_predict_shapes_and_values(data):
+    X, Y = data
+    tree = DecisionTree(max_depth=6, min_samples_leaf=1).fit(X, Y)
+    P = tree.predict(X)
+    assert P.shape == Y.shape
+    assert set(np.unique(P)) <= {0, 1}
+    proba = tree.predict_proba(X)
+    assert np.all((proba >= 0) & (proba <= 1))
+
+
+@given(datasets())
+@settings(max_examples=50, deadline=None)
+def test_distinct_rows_are_fit_perfectly(data):
+    """With no depth cap and leaf size 1, any dataset whose feature rows
+    are pairwise distinct is memorized exactly (CART consistency)."""
+    X, Y = data
+    # de-duplicate feature rows, keeping the first label
+    _, idx = np.unique(X, axis=0, return_index=True)
+    Xu, Yu = X[np.sort(idx)], Y[np.sort(idx)]
+    tree = DecisionTree(min_samples_leaf=1).fit(Xu, Yu)
+    np.testing.assert_array_equal(tree.predict(Xu), (Yu != 0).astype(int))
+
+
+@given(datasets())
+@settings(max_examples=50, deadline=None)
+def test_depth_and_leaves_consistent(data):
+    X, Y = data
+    tree = DecisionTree(max_depth=4).fit(X, Y)
+    assert tree.depth <= 4
+    assert 1 <= tree.n_leaves <= 2 ** tree.depth if tree.depth else True
+    imp = tree.feature_importances()
+    assert np.all(imp >= 0)
+    assert imp.sum() <= 1.0 + 1e-9
+
+
+@given(datasets())
+@settings(max_examples=50, deadline=None)
+def test_metric_bounds_and_ordering(data):
+    _, Y = data
+    rng = np.random.default_rng(0)
+    P = rng.integers(0, 2, size=Y.shape)
+    e = exact_match_ratio(Y, P)
+    p = partial_match_ratio(Y, P)
+    assert 0.0 <= e <= p <= 1.0
+    # perfect prediction scores 1.0 on both
+    assert exact_match_ratio(Y, Y) == 1.0
+    assert partial_match_ratio(Y, Y) == 1.0

@@ -1,0 +1,54 @@
+"""Unit tests for BiCGSTAB."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, CSRMatrix
+from repro.matrices.generators import random_uniform
+from repro.solvers import bicgstab, jacobi_preconditioner
+
+
+def _dominant(n=400, seed=0):
+    base = random_uniform(n, nnz_per_row=6.0, seed=seed)
+    coo = base.to_coo()
+    rows = np.concatenate([coo.rows, np.arange(n)])
+    cols = np.concatenate([coo.cols, np.arange(n)])
+    vals = np.concatenate([0.1 * coo.values, np.full(n, 10.0)])
+    return CSRMatrix.from_coo(COOMatrix(rows, cols, vals, (n, n)))
+
+
+def test_converges_on_dominant_system():
+    A = _dominant()
+    rng = np.random.default_rng(3)
+    xstar = rng.standard_normal(A.nrows)
+    b = A.matvec(xstar)
+    res = bicgstab(A, b, tol=1e-10)
+    assert res.converged
+    np.testing.assert_allclose(res.x, xstar, atol=1e-6)
+
+
+def test_preconditioner_accepted():
+    A = _dominant(seed=1)
+    b = np.ones(A.nrows)
+    res = bicgstab(A, b, tol=1e-9,
+                   preconditioner=jacobi_preconditioner(A))
+    assert res.converged
+    np.testing.assert_allclose(A.matvec(res.x), b, atol=1e-5)
+
+
+def test_maxiter_cap():
+    A = _dominant(seed=2)
+    res = bicgstab(A, np.ones(A.nrows), tol=1e-16, maxiter=2)
+    assert res.iterations <= 2
+
+
+def test_maxiter_validation():
+    A = _dominant(seed=4)
+    with pytest.raises(ValueError):
+        bicgstab(A, np.ones(A.nrows), maxiter=0)
+
+
+def test_residual_history_recorded():
+    A = _dominant(seed=5)
+    res = bicgstab(A, np.ones(A.nrows), tol=1e-10)
+    assert res.residual_history[0] >= res.residual_norm

@@ -1,0 +1,84 @@
+"""Unit tests for CG."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.generators import laplacian_1d, poisson2d
+from repro.solvers import cg, jacobi_preconditioner
+
+
+def test_converges_on_poisson():
+    A = poisson2d(20)
+    rng = np.random.default_rng(0)
+    xstar = rng.standard_normal(A.nrows)
+    b = A.matvec(xstar)
+    res = cg(A, b, tol=1e-10)
+    assert res.converged
+    np.testing.assert_allclose(res.x, xstar, atol=1e-6)
+
+
+def test_residual_history_monotone_overall():
+    A = laplacian_1d(200)
+    b = np.ones(200)
+    res = cg(A, b, tol=1e-10)
+    hist = res.residual_history
+    assert hist[-1] < 1e-8 * np.linalg.norm(b)
+    # CG residuals are not strictly monotone, but the trend must hold
+    assert hist[-1] < hist[0]
+
+
+def test_warm_start():
+    A = poisson2d(15)
+    rng = np.random.default_rng(1)
+    xstar = rng.standard_normal(A.nrows)
+    b = A.matvec(xstar)
+    cold = cg(A, b, tol=1e-10)
+    warm = cg(A, b, x0=xstar + 1e-6 * rng.standard_normal(A.nrows),
+              tol=1e-10)
+    assert warm.iterations < cold.iterations
+
+
+def test_maxiter_respected():
+    A = poisson2d(20)
+    b = np.ones(A.nrows)
+    res = cg(A, b, tol=1e-14, maxiter=3)
+    assert not res.converged
+    assert res.iterations == 3
+
+
+def test_preconditioner_helps_scaled_system():
+    # badly diagonally scaled SPD matrix: Jacobi must cut iterations
+    A = poisson2d(16)
+    scale = np.exp(np.linspace(0, 6, A.nrows))
+    import scipy.sparse as sp
+
+    from repro.formats import CSRMatrix
+
+    S = sp.diags(scale) @ A.to_scipy() @ sp.diags(scale)
+    B = CSRMatrix.from_scipy(S.tocsr())
+    b = np.ones(B.nrows)
+    plain = cg(B, b, tol=1e-8, maxiter=5000)
+    pre = cg(B, b, tol=1e-8, maxiter=5000,
+             preconditioner=jacobi_preconditioner(B))
+    assert pre.iterations < plain.iterations
+
+
+def test_callable_operator_accepted():
+    A = laplacian_1d(50)
+    res = cg(lambda v: A.matvec(v), np.ones(50), tol=1e-10)
+    assert res.converged
+
+
+def test_non_spd_breaks_gracefully():
+    from repro.formats import CSRMatrix
+
+    # indefinite matrix: CG must stop without crashing
+    A = CSRMatrix.from_dense(np.array([[1.0, 0.0], [0.0, -1.0]]))
+    res = cg(A, np.array([0.0, 1.0]), maxiter=10)
+    assert not res.converged
+
+
+def test_maxiter_validation():
+    A = laplacian_1d(10)
+    with pytest.raises(ValueError):
+        cg(A, np.ones(10), maxiter=0)

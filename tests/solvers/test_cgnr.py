@@ -1,0 +1,69 @@
+"""Unit tests for CGNR (least squares via normal equations)."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix
+from repro.solvers import cgnr
+
+
+def _tall_system(m=120, n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((m, n))
+    dense[np.abs(dense) < 1.2] = 0.0       # sparsify
+    dense[np.arange(n), np.arange(n)] += 3.0  # decent conditioning
+    A = CSRMatrix.from_dense(dense)
+    return A, dense
+
+
+def test_consistent_square_system():
+    rng = np.random.default_rng(1)
+    dense = np.diag(rng.uniform(1, 3, size=30))
+    dense[0, 5] = 0.5
+    A = CSRMatrix.from_dense(dense)
+    xstar = rng.standard_normal(30)
+    b = A.matvec(xstar)
+    res = cgnr(A, b, tol=1e-12)
+    assert res.converged
+    np.testing.assert_allclose(res.x, xstar, atol=1e-8)
+
+
+def test_least_squares_matches_lstsq():
+    A, dense = _tall_system()
+    rng = np.random.default_rng(2)
+    b = rng.standard_normal(A.nrows)       # inconsistent RHS
+    res = cgnr(A, b, tol=1e-12, maxiter=5000)
+    assert res.converged
+    expected, *_ = np.linalg.lstsq(dense, b, rcond=None)
+    np.testing.assert_allclose(res.x, expected, atol=1e-6)
+
+
+def test_normal_residual_decreases():
+    A, _ = _tall_system(seed=3)
+    b = np.ones(A.nrows)
+    res = cgnr(A, b, tol=1e-10, maxiter=5000)
+    hist = res.residual_history
+    assert hist[-1] < hist[0]
+
+
+def test_maxiter_cap():
+    A, _ = _tall_system(seed=4)
+    res = cgnr(A, np.ones(A.nrows), tol=1e-16, maxiter=2)
+    assert not res.converged
+    assert res.iterations <= 2
+
+
+def test_validation():
+    A, _ = _tall_system()
+    with pytest.raises(ValueError):
+        cgnr(A, np.ones(3))
+    with pytest.raises(ValueError):
+        cgnr(A, np.ones(A.nrows), maxiter=0)
+    with pytest.raises(TypeError):
+        cgnr(lambda v: v, np.ones(4))
+
+
+def test_rectangular_shapes_respected():
+    A, _ = _tall_system(m=80, n=20, seed=5)
+    res = cgnr(A, np.ones(80), tol=1e-8, maxiter=2000)
+    assert res.x.shape == (20,)

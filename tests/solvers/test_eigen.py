@@ -1,0 +1,82 @@
+"""Unit tests for power iteration and PageRank."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix
+from repro.solvers import pagerank, power_iteration
+
+
+def test_power_iteration_diagonal():
+    A = CSRMatrix.from_dense(np.diag([1.0, 5.0, 3.0]))
+    lam, res = power_iteration(A, tol=1e-12, maxiter=2000)
+    assert res.converged
+    assert lam == pytest.approx(5.0, rel=1e-6)
+    assert abs(res.x[1]) == pytest.approx(1.0, rel=1e-5)
+
+
+def test_power_iteration_matches_numpy():
+    rng = np.random.default_rng(0)
+    M = rng.standard_normal((40, 40))
+    S = M @ M.T  # SPD: dominant eigenvalue well defined
+    A = CSRMatrix.from_dense(S)
+    lam, res = power_iteration(A, tol=1e-12, maxiter=5000)
+    assert res.converged
+    expected = np.linalg.eigvalsh(S).max()
+    assert lam == pytest.approx(expected, rel=1e-6)
+
+
+def test_power_iteration_maxiter_cap():
+    A = CSRMatrix.from_dense(np.diag([1.0, 1.000001]))
+    lam, res = power_iteration(A, tol=1e-15, maxiter=3)
+    assert not res.converged
+    assert res.iterations == 3
+
+
+def test_power_iteration_validates():
+    A = CSRMatrix.from_dense(np.eye(3))
+    with pytest.raises(ValueError):
+        power_iteration(A, maxiter=0)
+    with pytest.raises(ValueError):
+        power_iteration(lambda v: v)  # bare callable needs x0
+
+
+def test_power_iteration_bare_callable_with_x0():
+    lam, res = power_iteration(
+        lambda v: 2.0 * v, x0=np.ones(4), tol=1e-12
+    )
+    assert lam == pytest.approx(2.0)
+
+
+def test_pagerank_uniform_on_cycle():
+    n = 6
+    # directed cycle: column-normalized transition is a permutation
+    A = CSRMatrix.from_arrays(
+        [(i + 1) % n for i in range(n)], list(range(n)),
+        [1.0] * n, (n, n),
+    )
+    res = pagerank(A, n, tol=1e-12)
+    assert res.converged
+    np.testing.assert_allclose(res.x, np.full(n, 1.0 / n), atol=1e-9)
+
+
+def test_pagerank_sums_to_one():
+    from repro.matrices.generators import power_law
+
+    G = power_law(2000, avg_deg=5.0, seed=3)
+    out_deg = np.maximum(G.row_nnz(), 1).astype(float)
+    scaled = CSRMatrix(
+        G.rowptr.copy(), G.colind.copy(),
+        np.ones(G.nnz) / out_deg[G.row_ids_per_nnz()], G.shape,
+    )
+    A = scaled.transpose()
+    res = pagerank(A, A.nrows, tol=1e-10)
+    assert res.converged
+    assert res.x.sum() == pytest.approx(1.0, abs=1e-8)
+    assert np.all(res.x >= 0)
+
+
+def test_pagerank_validates_damping():
+    A = CSRMatrix.from_dense(np.eye(2))
+    with pytest.raises(ValueError):
+        pagerank(A, 2, damping=1.0)

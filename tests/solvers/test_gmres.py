@@ -1,0 +1,77 @@
+"""Unit tests for restarted GMRES."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix
+from repro.matrices.generators import laplacian_1d, random_uniform
+from repro.solvers import gmres, jacobi_preconditioner
+
+
+def _nonsym(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    base = random_uniform(n, nnz_per_row=5.0, seed=seed)
+    coo = base.to_coo()
+    rows = np.concatenate([coo.rows, np.arange(n)])
+    cols = np.concatenate([coo.cols, np.arange(n)])
+    vals = np.concatenate([0.1 * coo.values, np.full(n, 8.0)])
+    from repro.formats import COOMatrix
+
+    return CSRMatrix.from_coo(COOMatrix(rows, cols, vals, (n, n)))
+
+
+def test_converges_on_nonsymmetric():
+    A = _nonsym()
+    rng = np.random.default_rng(1)
+    xstar = rng.standard_normal(A.nrows)
+    b = A.matvec(xstar)
+    res = gmres(A, b, tol=1e-10)
+    assert res.converged
+    np.testing.assert_allclose(res.x, xstar, atol=1e-6)
+
+
+def test_restart_still_converges():
+    # Diagonally dominant system: restarted GMRES converges even with
+    # a small Krylov window (the ill-conditioned Laplacian would not).
+    A = _nonsym(200, seed=7)
+    b = np.ones(200)
+    res = gmres(A, b, tol=1e-8, restart=5, maxiter=5000)
+    assert res.converged
+    np.testing.assert_allclose(A.matvec(res.x), b, atol=1e-5)
+
+
+def test_larger_restart_no_worse():
+    A = laplacian_1d(100)
+    b = np.ones(100)
+    small = gmres(A, b, tol=1e-8, restart=20, maxiter=2000)
+    big = gmres(A, b, tol=1e-8, restart=100, maxiter=2000)
+    assert big.iterations <= small.iterations
+
+
+def test_preconditioned_gmres():
+    A = _nonsym(seed=2)
+    b = np.ones(A.nrows)
+    res = gmres(A, b, tol=1e-9,
+                preconditioner=jacobi_preconditioner(A))
+    assert res.converged
+
+
+def test_maxiter_cap():
+    A = laplacian_1d(400)
+    res = gmres(A, np.ones(400), tol=1e-14, restart=5, maxiter=20)
+    assert res.iterations <= 20
+    assert not res.converged
+
+
+def test_already_solved_returns_immediately():
+    A = laplacian_1d(30)
+    res = gmres(A, np.zeros(30), tol=1e-10)
+    assert res.converged and res.iterations == 0
+
+
+def test_parameter_validation():
+    A = laplacian_1d(10)
+    with pytest.raises(ValueError):
+        gmres(A, np.ones(10), restart=0)
+    with pytest.raises(ValueError):
+        gmres(A, np.ones(10), maxiter=0)

@@ -1,0 +1,63 @@
+"""Unit tests for preconditioners."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix
+from repro.matrices.generators import laplacian_1d
+from repro.solvers import jacobi_preconditioner, ssor_preconditioner_diag
+from repro.solvers.base import as_matvec, identity_preconditioner
+
+
+def test_jacobi_divides_by_diagonal():
+    A = CSRMatrix.from_dense(np.diag([2.0, 4.0, 8.0]))
+    M = jacobi_preconditioner(A)
+    np.testing.assert_allclose(M(np.array([2.0, 4.0, 8.0])), [1, 1, 1])
+
+
+def test_jacobi_missing_diagonal_fallback():
+    A = CSRMatrix.from_arrays([0, 1], [1, 0], [3.0, 5.0], (2, 2))
+    M = jacobi_preconditioner(A, default=2.0)
+    np.testing.assert_allclose(M(np.array([4.0, 4.0])), [2.0, 2.0])
+
+
+def test_jacobi_zero_diagonal_fallback():
+    A = CSRMatrix.from_dense(np.array([[0.0, 1.0], [0.0, 3.0]]))
+    M = jacobi_preconditioner(A, default=1.0)
+    out = M(np.array([5.0, 6.0]))
+    assert out[0] == 5.0  # divided by fallback 1.0
+    assert out[1] == 2.0
+
+
+def test_jacobi_rejects_rectangular():
+    A = CSRMatrix.from_arrays([0], [1], [1.0], (1, 3))
+    with pytest.raises(ValueError):
+        jacobi_preconditioner(A)
+
+
+def test_ssor_scaling():
+    A = laplacian_1d(10)
+    M = ssor_preconditioner_diag(A, omega=1.0)
+    r = np.ones(10)
+    np.testing.assert_allclose(M(r), r / 2.0)  # diag == 2, scale == 1
+
+
+def test_ssor_omega_validation():
+    A = laplacian_1d(4)
+    with pytest.raises(ValueError):
+        ssor_preconditioner_diag(A, omega=2.0)
+
+
+def test_identity_preconditioner():
+    r = np.arange(4.0)
+    np.testing.assert_array_equal(identity_preconditioner(r), r)
+
+
+def test_as_matvec_dispatch():
+    A = laplacian_1d(5)
+    f = as_matvec(A)
+    np.testing.assert_allclose(f(np.ones(5)), A.matvec(np.ones(5)))
+    g = as_matvec(lambda v: 2 * v)
+    np.testing.assert_allclose(g(np.ones(3)), 2 * np.ones(3))
+    with pytest.raises(TypeError):
+        as_matvec(42)

@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_suite_command(capsys):
+    assert main(["suite", "--scale", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "consph" in out and "ASIC_680k" in out
+
+
+def test_analyze_named_matrix(capsys):
+    assert main(["analyze", "ASIC_680k", "--platform", "knl",
+                 "--scale", "0.15"]) == 0
+    out = capsys.readouterr().out
+    assert "bounds on knl" in out
+    assert "classes:" in out
+    assert "optimized:" in out
+
+
+def test_analyze_mtx_file(tmp_path, capsys, banded_csr):
+    from repro.matrices import write_matrix_market
+
+    path = tmp_path / "m.mtx"
+    write_matrix_market(banded_csr, path)
+    assert main(["analyze", str(path), "--platform", "knc"]) == 0
+    assert "P_CSR" in capsys.readouterr().out
+
+
+def test_experiments_listing(capsys):
+    assert main(["experiments"]) == 0
+    out = capsys.readouterr().out
+    for key in ("fig1", "fig7-knl", "table5", "ablation-imb"):
+        assert key in out
+
+
+def test_experiment_unknown_id(capsys):
+    assert main(["experiment", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_experiment_table3(capsys):
+    assert main(["experiment", "table3"]) == 0
+    out = capsys.readouterr().out
+    assert "Xeon Phi" in out
+
+
+def test_parser_rejects_bad_platform():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["analyze", "x", "--platform", "epyc"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_train_command_saves_classifier(tmp_path, capsys):
+    out = tmp_path / "clf.json"
+    assert main(["train", str(out), "--platform", "knl",
+                 "--count", "8", "--seed", "9"]) == 0
+    assert out.exists()
+    text = capsys.readouterr().out
+    assert "saved to" in text
+
+    from repro.core import FeatureGuidedClassifier
+
+    clf = FeatureGuidedClassifier.load(out)
+    assert clf.machine.codename == "knl"
+
+
+def test_export_suite_roundtrips(tmp_path, capsys):
+    assert main(["export-suite", str(tmp_path), "--scale", "0.05"]) == 0
+    files = sorted(tmp_path.glob("*.mtx"))
+    assert len(files) >= 18
+
+    from repro.matrices import named_matrix, read_matrix_market
+
+    back = read_matrix_market(tmp_path / "consph.mtx")
+    ref = named_matrix("consph", scale=0.05)
+    assert back.shape == ref.shape and back.nnz == ref.nnz
