@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the batched (multi-RHS) execution plane.
+
+Companion to ``bench_kernel_throughput.py``: times one batched
+``matmat`` over 32 right-hand sides against 32 sequential ``matvec``
+calls for the main kernel variants, plus the plan-cache hit path. The
+persistent cross-PR trajectory lives in ``BENCH_kernels.json``
+(regenerated with ``repro-spmv bench``); these pytest-benchmark
+entries give per-commit local numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveSpMV
+from repro.formats import DeltaCSR
+from repro.kernels.sellcs import SellCSigmaSpMV
+from repro.machine import KNL
+from repro.matrices import named_matrix
+
+RHS = 32
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return named_matrix("poisson3Db", scale=0.5)
+
+
+@pytest.fixture(scope="module")
+def X(matrix):
+    return np.random.default_rng(0).standard_normal((matrix.ncols, RHS))
+
+
+def test_numeric_csr_sequential_matvecs(benchmark, matrix, X):
+    def sweep():
+        for j in range(RHS):
+            matrix.matvec(X[:, j])
+
+    benchmark(sweep)
+
+
+def test_numeric_csr_batched_matmat(benchmark, matrix, X):
+    result = benchmark(matrix.matmat, X)
+    assert result.shape == (matrix.nrows, RHS)
+
+
+def test_numeric_delta_batched_matmat(benchmark, matrix, X):
+    delta = DeltaCSR.from_csr(matrix)
+    result = benchmark(delta.matmat, X)
+    assert result.shape == (matrix.nrows, RHS)
+
+
+def test_numeric_sellcs_batched_matmat(benchmark, matrix, X):
+    kernel = SellCSigmaSpMV(chunk=8)
+    data = kernel.preprocess(matrix)
+    data.matvec(X[:, 0])  # prime the lazy row-major layout
+    result = benchmark(kernel.apply_multi, data, X)
+    assert result.shape == (matrix.nrows, RHS)
+
+
+def test_plan_cache_hit_build(benchmark, matrix):
+    optimizer = AdaptiveSpMV(KNL, classifier="profile")
+    optimizer.optimize(matrix)  # populate the cache
+
+    operator = benchmark(optimizer.optimize, matrix)
+    assert operator.plan.cache_hit
+    assert operator.plan.total_overhead_seconds == 0.0

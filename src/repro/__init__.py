@@ -29,11 +29,13 @@ from .core import (
     OptimizationPool,
     OptimizedSpMV,
     PerformanceBounds,
+    PlanCache,
     ProfileGuidedClassifier,
     ProfileThresholds,
     amortization_study,
     classify_from_bounds,
     format_classes,
+    matrix_fingerprint,
     measure_bounds,
     oracle_search,
     tune_profile_thresholds,
@@ -104,6 +106,8 @@ __all__ = [
     "AdaptiveSpMV",
     "OptimizationPlan",
     "OptimizedSpMV",
+    "PlanCache",
+    "matrix_fingerprint",
     "oracle_search",
     "tune_profile_thresholds",
     "amortization_study",

@@ -5,6 +5,7 @@
     repro-spmv suite                      # list the named matrix suite
     repro-spmv analyze NAME --platform knl
     repro-spmv analyze path/to/matrix.mtx --platform knc
+    repro-spmv bench --rhs 32             # single vs batched GFLOP/s
     repro-spmv experiment fig7-knl --scale 0.5
     repro-spmv experiments                # list experiment ids
 """
@@ -63,6 +64,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_ex.add_argument("directory")
     p_ex.add_argument("--scale", type=float, default=1.0)
 
+    p_bench = sub.add_parser(
+        "bench",
+        help="benchmark single-RHS vs batched SpMV per kernel variant",
+    )
+    p_bench.add_argument("--rhs", type=int, default=32,
+                         help="right-hand sides per batch")
+    p_bench.add_argument("--scale", type=float, default=1.0,
+                         help="benchmark matrix size scale")
+    p_bench.add_argument("--repeats", type=int, default=3,
+                         help="timing repetitions (median is kept)")
+    p_bench.add_argument("--output", default="BENCH_kernels.json",
+                         help="JSON output path ('-' to skip writing)")
+
     sub.add_parser("experiments", help="list experiment ids")
 
     p_exp = sub.add_parser("experiment", help="run one experiment driver")
@@ -108,6 +122,27 @@ def _cmd_analyze(args) -> int:
         f"optimized: {r.gflops:.2f} Gflop/s "
         f"({r.gflops / bounds.p_csr:.2f}x over baseline CSR)"
     )
+    op2 = optimizer.optimize(csr)
+    print(
+        f"repeat build: cache_hit={op2.plan.cache_hit}, overhead "
+        f"{1e3 * op2.plan.total_overhead_seconds:.2f} ms (first build "
+        f"paid {1e3 * op.plan.total_overhead_seconds:.2f} ms)"
+    )
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from .experiments import bench_batched
+
+    if args.rhs < 1:
+        print("error: --rhs must be >= 1", file=sys.stderr)
+        return 2
+    out = None if args.output == "-" else args.output
+    table = bench_batched.run(
+        rhs=args.rhs, scale=args.scale, repeats=args.repeats,
+        out_path=out,
+    )
+    print(table.to_text())
     return 0
 
 
@@ -209,6 +244,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "suite": _cmd_suite,
         "analyze": _cmd_analyze,
+        "bench": _cmd_bench,
         "train": _cmd_train,
         "export-suite": _cmd_export_suite,
         "experiments": _cmd_experiments,

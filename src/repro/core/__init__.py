@@ -14,7 +14,13 @@ from .classes import (
 )
 from .feature_classifier import FeatureGuidedClassifier, TrainingReport
 from .gridsearch import GridPoint, GridSearchResult, tune_profile_thresholds
-from .optimizer import AdaptiveSpMV, OptimizationPlan, OptimizedSpMV
+from .optimizer import (
+    AdaptiveSpMV,
+    OptimizationPlan,
+    OptimizedSpMV,
+    PlanCache,
+    matrix_fingerprint,
+)
 from .oracle import OracleChoice, oracle_configurations, oracle_search
 from .partitioned_ml import (
     ExtendedProfileClassifier,
@@ -55,6 +61,8 @@ __all__ = [
     "AdaptiveSpMV",
     "OptimizationPlan",
     "OptimizedSpMV",
+    "PlanCache",
+    "matrix_fingerprint",
     "OracleChoice",
     "oracle_search",
     "oracle_configurations",

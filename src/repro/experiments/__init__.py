@@ -13,10 +13,24 @@ module             paper artifact
 ``table5``         Table V (amortization iterations, KNL)
 ``ablations``      A1-A6 ablations (incl. the A5/A6 extensions)
 ``report``         full markdown reproduction report
+``bench_batched``  single-RHS vs batched SpMM throughput (not a
+                   paper artifact; perf-regression tracking)
 ================  ============================================
 """
 
-from . import ablations, fig1, fig4, fig5, fig7, report, table2, table3, table4, table5
+from . import (
+    ablations,
+    bench_batched,
+    fig1,
+    fig4,
+    fig5,
+    fig7,
+    report,
+    table2,
+    table3,
+    table4,
+    table5,
+)
 from .common import ExperimentTable, geometric_mean, render_table, trained_feature_classifier
 
 __all__ = [
@@ -30,6 +44,7 @@ __all__ = [
     "table5",
     "ablations",
     "report",
+    "bench_batched",
     "ExperimentTable",
     "render_table",
     "geometric_mean",

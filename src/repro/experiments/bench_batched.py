@@ -1,0 +1,177 @@
+"""Batched-throughput benchmark: single-RHS SpMV vs multi-RHS SpMM.
+
+Not a paper artifact: this driver tracks the *reproduction's own*
+numeric throughput across kernel variants, measuring how much the
+batched ``matmat`` plane gains over ``k`` sequential ``matvec`` calls
+(the SpMM lever of Saule et al., arXiv:1302.1078). Results are written
+to ``BENCH_kernels.json`` at the repo root so successive PRs leave a
+perf trajectory; ``tests/perf`` smoke-runs the harness on tiny inputs
+and validates the schema on every CI run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from ..formats import CSRMatrix
+from ..kernels import baseline_kernel, merged_pool_kernel
+from ..kernels.bcsr import BCSRSpMV
+from ..kernels.sellcs import SellCSigmaSpMV
+from .common import ExperimentTable, geometric_mean
+
+__all__ = ["run", "bench_kernels", "BENCH_SCHEMA_KEYS", "ROW_SCHEMA_KEYS"]
+
+#: Required top-level keys of ``BENCH_kernels.json``.
+BENCH_SCHEMA_KEYS = frozenset(
+    {"schema_version", "rhs", "repeats", "suite", "kernels",
+     "geomean_speedup"}
+)
+#: Required keys of every per-kernel measurement row.
+ROW_SCHEMA_KEYS = frozenset(
+    {"kernel", "matrix", "nrows", "nnz", "single_gflops",
+     "batched_gflops", "speedup"}
+)
+
+SCHEMA_VERSION = 1
+
+
+def _bench_matrices(scale: float) -> list[tuple[str, CSRMatrix]]:
+    """The benchmark suite: one streaming-regular and one
+    scattered-access matrix, sized (at scale 1.0) so that x far
+    exceeds the last-level cache — the regime where batching pays."""
+    from ..matrices.generators import banded, random_uniform
+
+    n = max(int(64_000 * scale), 64)
+    return [
+        ("banded", banded(n, nnz_per_row=8, bandwidth=32, seed=5)),
+        ("scattered", random_uniform(n, nnz_per_row=16.0, seed=6)),
+    ]
+
+
+def _bench_kernel_variants() -> list[tuple[str, object]]:
+    return [
+        ("csr", baseline_kernel()),
+        ("csr+delta", merged_pool_kernel(("compression",))),
+        ("csr+split", merged_pool_kernel(("decomposition",))),
+        ("sell-8", SellCSigmaSpMV(chunk=8)),
+        ("bcsr2x2", BCSRSpMV(block=2)),
+    ]
+
+
+def _median_seconds(fn, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times))
+
+
+def bench_kernels(
+    *,
+    rhs: int = 32,
+    scale: float = 1.0,
+    repeats: int = 3,
+    matrices: list[tuple[str, CSRMatrix]] | None = None,
+    kernels: list[tuple[str, object]] | None = None,
+) -> dict:
+    """Measure single-RHS vs batched GFLOP/s for every kernel variant.
+
+    For each (kernel, matrix) pair the single-RHS number times ``rhs``
+    sequential ``apply`` calls and the batched number times one
+    ``apply_multi`` over the same ``rhs`` vectors — identical flop
+    counts, so the speedup column is a pure throughput ratio.
+    Returns the ``BENCH_kernels.json`` payload as a dict.
+    """
+    if rhs < 1:
+        raise ValueError("rhs must be >= 1")
+    if matrices is None:
+        matrices = _bench_matrices(scale)
+    if kernels is None:
+        kernels = _bench_kernel_variants()
+    rng = np.random.default_rng(2017)
+
+    rows = []
+    for mat_name, csr in matrices:
+        X = rng.standard_normal((csr.ncols, rhs))
+        flops = 2.0 * csr.nnz * rhs
+        for kern_name, kernel in kernels:
+            data = kernel.preprocess(csr)
+            # Warm up both planes (primes lazy layouts and caches).
+            kernel.apply(data, X[:, 0])
+            kernel.apply_multi(data, X[:, :1])
+
+            def single():
+                for j in range(rhs):
+                    kernel.apply(data, X[:, j])
+
+            t_single = _median_seconds(single, repeats)
+            t_batched = _median_seconds(
+                lambda: kernel.apply_multi(data, X), repeats
+            )
+            rows.append({
+                "kernel": kern_name,
+                "matrix": mat_name,
+                "nrows": csr.nrows,
+                "nnz": csr.nnz,
+                "single_gflops": flops / t_single / 1e9,
+                "batched_gflops": flops / t_batched / 1e9,
+                "speedup": t_single / t_batched,
+            })
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "rhs": int(rhs),
+        "repeats": int(repeats),
+        "suite": [
+            {"matrix": name, "nrows": csr.nrows, "nnz": csr.nnz}
+            for name, csr in matrices
+        ],
+        "kernels": rows,
+        "geomean_speedup": geometric_mean([r["speedup"] for r in rows]),
+    }
+
+
+def run(
+    *,
+    rhs: int = 32,
+    scale: float = 1.0,
+    repeats: int = 3,
+    out_path: str | None = "BENCH_kernels.json",
+    matrices: list[tuple[str, CSRMatrix]] | None = None,
+    kernels: list[tuple[str, object]] | None = None,
+) -> ExperimentTable:
+    """Run the batched-throughput benchmark and render it as a table.
+
+    ``out_path`` (default ``BENCH_kernels.json`` in the current
+    directory) receives the machine-readable payload; pass ``None`` to
+    skip writing.
+    """
+    payload = bench_kernels(
+        rhs=rhs, scale=scale, repeats=repeats,
+        matrices=matrices, kernels=kernels,
+    )
+    table = ExperimentTable(
+        experiment_id="bench-batched",
+        title=f"single-RHS vs batched SpMV throughput ({rhs} RHS)",
+        headers=("kernel", "matrix", "nrows", "nnz",
+                 "single Gflop/s", "batched Gflop/s", "speedup"),
+    )
+    for r in payload["kernels"]:
+        table.add(
+            r["kernel"], r["matrix"], r["nrows"], r["nnz"],
+            r["single_gflops"], r["batched_gflops"], r["speedup"],
+        )
+    table.note(
+        f"geomean batched speedup {payload['geomean_speedup']:.2f}x "
+        f"over {rhs} sequential matvecs (wall-clock, this host)"
+    )
+    if out_path is not None:
+        with open(out_path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        table.note(f"wrote {out_path}")
+    return table

@@ -4,7 +4,9 @@ Every format in :mod:`repro.formats` exposes
 
 * the logical matrix (``shape``, ``nnz``),
 * a numeric plane: :meth:`SparseFormat.matvec` computes ``y = A @ x``
-  with vectorized NumPy, used for correctness and by the solvers, and
+  and :meth:`SparseFormat.matmat` computes the batched ``Y = A @ X``
+  for a dense block of right-hand sides, both with vectorized NumPy,
+  used for correctness and by the solvers, and
 * a storage-accounting plane: :meth:`SparseFormat.index_nbytes` /
   :meth:`SparseFormat.value_nbytes`, used by the machine model to derive
   memory traffic and by the paper's per-class performance bounds
@@ -39,6 +41,33 @@ class SparseFormat(abc.ABC):
     @abc.abstractmethod
     def matvec(self, x: np.ndarray) -> np.ndarray:
         """Return ``A @ x`` as a new float64 vector."""
+
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        """Return ``A @ X`` for a dense block of right-hand sides.
+
+        ``X`` has shape ``(ncols, k)``; the result has shape
+        ``(nrows, k)`` and its column ``j`` equals ``matvec(X[:, j])``.
+        Concrete formats override this with a single-pass vectorized
+        kernel that amortizes index traffic over all ``k`` vectors (the
+        SpMM optimization of Saule et al.); this fallback stacks
+        ``matvec`` calls and is only used by formats without a native
+        batched kernel.
+        """
+        X = self._check_matmat_input(X)
+        out = np.empty((self.nrows, X.shape[1]), dtype=np.float64)
+        for j in range(X.shape[1]):
+            out[:, j] = self.matvec(X[:, j])
+        return out
+
+    def _check_matmat_input(self, X: np.ndarray) -> np.ndarray:
+        """Validate and normalize a multi-RHS operand to C-contiguous
+        float64 of shape ``(ncols, k)``."""
+        X = np.ascontiguousarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] != self.ncols:
+            raise ValueError(
+                f"X must have shape ({self.ncols}, k), got {X.shape}"
+            )
+        return X
 
     @abc.abstractmethod
     def index_nbytes(self) -> int:
@@ -86,7 +115,10 @@ class SparseFormat(abc.ABC):
         return self.shape[1]
 
     def __matmul__(self, x: np.ndarray) -> np.ndarray:
-        return self.matvec(np.asarray(x))
+        x = np.asarray(x)
+        if x.ndim == 2:
+            return self.matmat(x)
+        return self.matvec(x)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         r, c = self.shape

@@ -170,6 +170,63 @@ class BCSRMatrix(SparseFormat):
             )
         return yp[: self.nrows]
 
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        """Batched ``Y = A @ X``: each dense block multiplies a
+        ``(block, k)`` slab of ``X`` (a small dense GEMM), and the
+        per-block-row reduction uses ``np.add.reduceat`` because blocks
+        are stored block-row-major. Work is tiled over block-row-aligned
+        ranges so the ``(blocks, r, k)`` contribution intermediate stays
+        cache-resident.
+        """
+        from .csr import _TILE_ELEMS
+
+        X = self._check_matmat_input(X)
+        r = self.block
+        k = X.shape[1]
+        nbrows = self.block_rowptr.size - 1
+        Yp = np.zeros((nbrows * r, k), dtype=np.float64)
+        if not (self.nblocks and k):
+            return Yp[: self.nrows]
+        pad_cols = -(-self.ncols // r) * r
+        Xp = np.zeros((pad_cols, k), dtype=np.float64)
+        Xp[: self.ncols] = X
+        Yview = Yp.reshape(nbrows, r, k)
+        bcol = self.block_colind.astype(np.int64)
+        blocks_per_row = np.diff(self.block_rowptr)
+        has_empty = bool(blocks_per_row.min(initial=1) == 0)
+        tile = max(_TILE_ELEMS // max(r * k, 1), 1)
+        s0 = 0
+        while s0 < nbrows:
+            s1 = int(np.searchsorted(
+                self.block_rowptr, self.block_rowptr[s0] + tile,
+                side="right",
+            )) - 1
+            s1 = min(max(s1, s0 + 1), nbrows)
+            lo = int(self.block_rowptr[s0])
+            hi = int(self.block_rowptr[s1])
+            if hi > lo:
+                xblocks = Xp[
+                    (bcol[lo:hi, None] * r + np.arange(r)[None, :])
+                ]                                    # (blocks, r, k)
+                contrib = np.einsum(
+                    "bij,bjk->bik", self.block_values[lo:hi], xblocks
+                )
+                if not has_empty:
+                    np.add.reduceat(
+                        contrib, self.block_rowptr[s0:s1] - lo, axis=0,
+                        out=Yview[s0:s1],
+                    )
+                else:
+                    nonempty = np.flatnonzero(blocks_per_row[s0:s1] > 0)
+                    if nonempty.size:
+                        Yview[s0 + nonempty] = np.add.reduceat(
+                            contrib,
+                            self.block_rowptr[s0:s1][nonempty] - lo,
+                            axis=0,
+                        )
+            s0 = s1
+        return Yp[: self.nrows]
+
     def index_nbytes(self) -> int:
         return int(self.block_rowptr.nbytes + self.block_colind.nbytes)
 

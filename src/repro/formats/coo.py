@@ -87,6 +87,30 @@ class COOMatrix(SparseFormat):
         np.add.at(y, self.rows, self.values * x[self.cols])
         return y
 
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        """Batched ``Y = A @ X``: one gather pass serves all columns.
+
+        Entries are canonically sorted by ``(row, col)``, so runs of
+        equal row index form contiguous segments and the CSR segmented
+        batched kernel applies directly — no scatter-add over ``k``-wide
+        rows is needed.
+        """
+        X = self._check_matmat_input(X)
+        Y = np.zeros((self.nrows, X.shape[1]), dtype=np.float64)
+        if self.values.size == 0 or X.shape[1] == 0:
+            return Y
+        from .csr import _segment_matmat
+
+        change = np.empty(self.rows.size, dtype=bool)
+        change[0] = True
+        change[1:] = np.diff(self.rows) != 0
+        starts = np.flatnonzero(change)
+        segptr = np.append(starts, self.rows.size)
+        Y[self.rows[starts]] = _segment_matmat(
+            self.cols, self.values, segptr, X, starts.size
+        )
+        return Y
+
     def index_nbytes(self) -> int:
         return int(self.rows.nbytes + self.cols.nbytes)
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from .base import SparseFormat
-from .csr import CSRMatrix, _segment_sums
+from .csr import CSRMatrix, _segment_matmat, _segment_sums
 
 __all__ = ["DecomposedCSR", "default_long_row_threshold"]
 
@@ -113,20 +113,16 @@ class DecomposedCSR(SparseFormat):
         np.cumsum(row_nnz, out=rowptr[1:])
         colind = np.empty(self.nnz, dtype=np.int32)
         values = np.empty(self.nnz, dtype=np.float64)
-        # Short rows copy straight through; long rows fill their slots.
-        is_long = np.zeros(self.nrows, dtype=bool)
-        is_long[self.long_rows] = True
-        for i in range(self.nrows):
-            lo, hi = rowptr[i], rowptr[i + 1]
-            if is_long[i]:
-                j = int(np.searchsorted(self.long_rows, i))
-                llo, lhi = self.long_rowptr[j], self.long_rowptr[j + 1]
-                colind[lo:hi] = self.long_colind[llo:lhi]
-                values[lo:hi] = self.long_values[llo:lhi]
-            else:
-                slo, shi = self.short.rowptr[i], self.short.rowptr[i + 1]
-                colind[lo:hi] = self.short.colind[slo:shi]
-                values[lo:hi] = self.short.values[slo:shi]
+        # Both parts store their rows in ascending row order, and each
+        # output slot belongs to exactly one part, so a boolean mask per
+        # nonzero scatters both parts in two contiguous-copy passes.
+        is_long_row = np.zeros(self.nrows, dtype=bool)
+        is_long_row[self.long_rows] = True
+        out_is_long = np.repeat(is_long_row, row_nnz)
+        colind[out_is_long] = self.long_colind
+        values[out_is_long] = self.long_values
+        colind[~out_is_long] = self.short.colind
+        values[~out_is_long] = self.short.values
         return CSRMatrix(rowptr, colind, values, self._shape)
 
     # -- SparseFormat interface ----------------------------------------
@@ -154,6 +150,19 @@ class DecomposedCSR(SparseFormat):
             products = self.long_values * x[self.long_colind]
             y[self.long_rows] += _segment_sums(products, self.long_rowptr)
         return y
+
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        """Batched two-part apply: short part via the CSR batched
+        kernel, long rows via the same segmented kernel on their
+        contiguous storage."""
+        X = self._check_matmat_input(X)
+        Y = self.short.matmat(X)
+        if self.long_rows.size:
+            Y[self.long_rows] += _segment_matmat(
+                self.long_colind, self.long_values, self.long_rowptr,
+                X, self.long_rows.size,
+            )
+        return Y
 
     def index_nbytes(self) -> int:
         return int(

@@ -163,6 +163,11 @@ class DeltaCSR(SparseFormat):
         # and the smaller delta array to memory traffic.
         return self.to_csr().matvec(x)
 
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        # Decode once for the whole batch: the per-apply decode cost is
+        # amortized over all k right-hand sides.
+        return self.to_csr().matmat(X)
+
     def index_nbytes(self) -> int:
         reset_bytes = self.reset_pos.nbytes + self.reset_col.nbytes
         return int(self.rowptr.nbytes + self.deltas.nbytes + reset_bytes)

@@ -25,7 +25,7 @@ import numpy as np
 
 from .._validation import check_positive
 from .base import SparseFormat
-from .csr import CSRMatrix
+from .csr import CSRMatrix, _segment_matmat, _segment_sums
 
 __all__ = ["SellCSigmaMatrix"]
 
@@ -36,7 +36,7 @@ class SellCSigmaMatrix(SparseFormat):
     format_name = "sell-c-sigma"
 
     __slots__ = ("chunk_ptr", "chunk_len", "colind", "values",
-                 "row_perm", "chunk", "sigma", "_shape", "_nnz")
+                 "row_perm", "chunk", "sigma", "_shape", "_nnz", "_rm")
 
     def __init__(self, chunk_ptr, chunk_len, colind, values, row_perm,
                  chunk, sigma, shape, nnz):
@@ -49,6 +49,7 @@ class SellCSigmaMatrix(SparseFormat):
         self.sigma = int(sigma)
         self._shape = (int(shape[0]), int(shape[1]))
         self._nnz = int(nnz)
+        self._rm = None
         nchunks = self.chunk_len.size
         if self.chunk_ptr.size != nchunks + 1:
             raise ValueError("chunk_ptr must have nchunks + 1 entries")
@@ -130,23 +131,59 @@ class SellCSigmaMatrix(SparseFormat):
         """Stored / logical elements (1.0 = no padding)."""
         return self.stored_elements / max(self._nnz, 1)
 
+    def _row_major(self):
+        """Lazily regroup the column-major chunk storage into per-slot
+        row-major segments.
+
+        Returns ``(rm_colind, rm_values, rm_ptr)`` where segment ``s``
+        of the ``nchunks * C`` padded output rows covers
+        ``rm_*[rm_ptr[s]:rm_ptr[s+1]]``. The permutation sorts slots by
+        ``(chunk, lane)`` with a stable key, turning the lane-interleaved
+        chunk layout into contiguous rows that a single segmented
+        reduction can consume — this removes the per-chunk Python loop
+        from both ``matvec`` and ``matmat``.
+        """
+        if self._rm is None:
+            C = self.chunk
+            total = self.values.size
+            widths = np.diff(self.chunk_ptr)
+            chunk_of_slot = np.repeat(
+                np.arange(self.nchunks, dtype=np.int64), widths
+            )
+            lane = (
+                np.arange(total, dtype=np.int64)
+                - self.chunk_ptr[chunk_of_slot]
+            ) % C
+            order = np.argsort(chunk_of_slot * C + lane, kind="stable")
+            rm_ptr = np.zeros(self.nchunks * C + 1, dtype=np.int64)
+            np.cumsum(np.repeat(self.chunk_len, C), out=rm_ptr[1:])
+            self._rm = (self.colind[order], self.values[order], rm_ptr)
+        return self._rm
+
     def matvec(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.ncols,):
             raise ValueError(f"x must have shape ({self.ncols},), got {x.shape}")
-        C = self.chunk
-        nrows = self.nrows
-        y_perm = np.zeros(self.nchunks * C, dtype=np.float64)
         # padded slots have colind 0 and value 0.0: they contribute
         # value * x[0] == 0, so no masking is needed
-        products = self.values * x[self.colind]
-        for ci in range(self.nchunks):
-            lo, hi = self.chunk_ptr[ci], self.chunk_ptr[ci + 1]
-            block = products[lo:hi].reshape(-1, C)   # (width, C)
-            y_perm[ci * C : (ci + 1) * C] = block.sum(axis=0)
-        y = np.zeros(nrows, dtype=np.float64)
-        y[self.row_perm] = y_perm[:nrows]
+        rm_colind, rm_values, rm_ptr = self._row_major()
+        y_perm = _segment_sums(rm_values * x[rm_colind], rm_ptr)
+        y = np.zeros(self.nrows, dtype=np.float64)
+        y[self.row_perm] = y_perm[: self.nrows]
         return y
+
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        """Batched apply on the row-major view: the slot permutation is
+        computed once and reused across all applies, and each gathered
+        row of ``X`` serves all ``k`` right-hand sides."""
+        X = self._check_matmat_input(X)
+        rm_colind, rm_values, rm_ptr = self._row_major()
+        Y_perm = _segment_matmat(
+            rm_colind, rm_values, rm_ptr, X, self.nchunks * self.chunk
+        )
+        Y = np.zeros((self.nrows, X.shape[1]), dtype=np.float64)
+        Y[self.row_perm] = Y_perm[: self.nrows]
+        return Y
 
     def index_nbytes(self) -> int:
         return int(

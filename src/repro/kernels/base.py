@@ -59,6 +59,25 @@ class Kernel(abc.ABC):
     def apply(self, data, x: np.ndarray) -> np.ndarray:
         """Compute the kernel's result for input vector ``x``."""
 
+    def apply_multi(self, data, X: np.ndarray) -> np.ndarray:
+        """Batched numeric plane: ``Y = A @ X`` for ``X`` of shape
+        ``(ncols, k)``.
+
+        Column ``j`` of the result equals ``apply(data, X[:, j])``.
+        Kernels whose execution format has a native ``matmat`` override
+        this to amortize index traffic and any decode/permutation work
+        over all ``k`` right-hand sides; the fallback stacks ``apply``
+        calls.
+        """
+        X = np.ascontiguousarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D (ncols, k), got shape {X.shape}")
+        cols = [self.apply(data, X[:, j]) for j in range(X.shape[1])]
+        if not cols:
+            nrows = getattr(data, "nrows", 0)
+            return np.zeros((nrows, 0), dtype=np.float64)
+        return np.stack(cols, axis=1)
+
     # -- cost plane -------------------------------------------------------
 
     @abc.abstractmethod
@@ -79,7 +98,11 @@ class Kernel(abc.ABC):
 
     def run_numeric(self, csr: CSRMatrix, x: np.ndarray) -> np.ndarray:
         """Preprocess + apply in one step (tests & examples)."""
-        return self.apply(self.preprocess(csr), x)
+        data = self.preprocess(csr)
+        x = np.asarray(x)
+        if x.ndim == 2:
+            return self.apply_multi(data, x)
+        return self.apply(data, x)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"

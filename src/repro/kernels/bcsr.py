@@ -57,6 +57,9 @@ class BCSRSpMV(Kernel):
     def apply(self, data: BCSRMatrix, x: np.ndarray) -> np.ndarray:
         return data.matvec(x)
 
+    def apply_multi(self, data: BCSRMatrix, X: np.ndarray) -> np.ndarray:
+        return data.matmat(X)
+
     # -- scheduling ------------------------------------------------------------
 
     def partition(self, data: BCSRMatrix, nthreads: int) -> Partition:

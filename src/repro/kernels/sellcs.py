@@ -52,6 +52,9 @@ class SellCSigmaSpMV(Kernel):
     def apply(self, data: SellCSigmaMatrix, x: np.ndarray) -> np.ndarray:
         return data.matvec(x)
 
+    def apply_multi(self, data: SellCSigmaMatrix, X: np.ndarray) -> np.ndarray:
+        return data.matmat(X)
+
     # -- scheduling -----------------------------------------------------------
 
     def partition(self, data: SellCSigmaMatrix, nthreads: int) -> Partition:

@@ -203,6 +203,27 @@ class ConfiguredSpMV(Kernel):
             return data.delta.matvec(x)
         return data.csr.matvec(x)
 
+    def apply_multi(self, data: PreparedData, X: np.ndarray) -> np.ndarray:
+        """Batched apply mirroring :meth:`apply`'s format dispatch.
+
+        Delta decoding happens once per batch instead of once per
+        vector, so the compressed paths gain the most from batching.
+        """
+        cfg = self.config
+        if cfg.decompose:
+            d = data.decomposed
+            if data.short_delta is not None:
+                Y = data.short_delta.matmat(X)
+            else:
+                Y = d.short.matmat(X)
+            long_csr = data.long_part_csr()
+            if long_csr is not None:
+                Y[d.long_rows] += long_csr.matmat(X)
+            return Y
+        if cfg.compress:
+            return data.delta.matmat(X)
+        return data.csr.matmat(X)
+
     # -- scheduling -----------------------------------------------------------
 
     def _schedulable(self, data: PreparedData):

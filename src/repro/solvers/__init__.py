@@ -1,7 +1,13 @@
 """Iterative solvers (system S9): the context that motivates
 lightweight SpMV autotuning."""
 
-from .base import SolveResult, as_matvec, identity_preconditioner
+from .base import (
+    SolveResult,
+    as_matmat,
+    as_matvec,
+    columnwise,
+    identity_preconditioner,
+)
 from .bicgstab import bicgstab
 from .cg import cg
 from .cgnr import cgnr
@@ -12,6 +18,8 @@ from .precond import jacobi_preconditioner, ssor_preconditioner_diag
 __all__ = [
     "SolveResult",
     "as_matvec",
+    "as_matmat",
+    "columnwise",
     "identity_preconditioner",
     "cg",
     "cgnr",

@@ -8,7 +8,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import SolveResult, as_matvec, identity_preconditioner
+from .base import (
+    SolveResult,
+    as_matmat,
+    as_matvec,
+    columnwise,
+    identity_preconditioner,
+)
 
 __all__ = ["bicgstab"]
 
@@ -22,12 +28,19 @@ def bicgstab(
     maxiter: int = 10_000,
     preconditioner=None,
 ) -> SolveResult:
-    """Solve ``A x = b`` with van der Vorst's stabilized BiCG."""
-    matvec = as_matvec(A)
-    M = preconditioner or identity_preconditioner
+    """Solve ``A x = b`` with van der Vorst's stabilized BiCG.
+
+    A 2-D ``b`` of shape ``(n, k)`` solves all ``k`` systems at once
+    with two batched ``matmat`` applications per iteration.
+    """
     b = np.asarray(b, dtype=np.float64)
     if maxiter < 1:
         raise ValueError("maxiter must be >= 1")
+    if b.ndim == 2:
+        return _block_bicgstab(A, b, x0, tol=tol, maxiter=maxiter,
+                               preconditioner=preconditioner)
+    matvec = as_matvec(A)
+    M = preconditioner or identity_preconditioner
     x = (
         np.zeros_like(b)
         if x0 is None
@@ -82,4 +95,94 @@ def bicgstab(
     return SolveResult(
         x=x, converged=False, iterations=len(history) - 1,
         residual_norm=history[-1], residual_history=np.array(history),
+    )
+
+
+def _block_bicgstab(A, B, X0, *, tol, maxiter, preconditioner) -> SolveResult:
+    """Multi-RHS BiCGSTAB with per-column scalar recurrences.
+
+    Mirrors the single-RHS iteration column by column; converged and
+    broken-down columns are frozen (zero step, zeroed direction) while
+    the active ones share the two batched ``matmat`` calls per step.
+    The mid-step early exit (``||s||`` small) freezes the column after
+    the half-update, exactly like the scalar code path.
+    """
+    matmat = as_matmat(A)
+    M = columnwise(preconditioner or identity_preconditioner)
+    n, k = B.shape
+    X = (
+        np.zeros_like(B)
+        if X0 is None
+        else np.array(X0, dtype=np.float64, copy=True).reshape(n, k)
+    )
+    R = B - matmat(X) if X.any() else B.copy()
+    R_hat = R.copy()
+    rho = np.ones(k)
+    alpha = np.ones(k)
+    omega = np.ones(k)
+    V = np.zeros_like(B)
+    P = np.zeros_like(B)
+    bnorm = np.linalg.norm(B, axis=0)
+    bnorm[bnorm == 0.0] = 1.0
+    rnorm = np.linalg.norm(R, axis=0)
+    history = [rnorm.copy()]
+    converged = rnorm <= tol * bnorm
+    active = ~converged
+    iterations = 0
+
+    for it in range(1, maxiter + 1):
+        if not active.any():
+            break
+        rho_new = np.einsum("ij,ij->j", R_hat, R)
+        active = active & (rho_new != 0.0) & (omega != 0.0)
+        if not active.any():
+            break
+        beta = np.where(
+            active,
+            (rho_new / np.where(rho != 0.0, rho, 1.0))
+            * (alpha / np.where(omega != 0.0, omega, 1.0)),
+            0.0,
+        )
+        rho = np.where(active, rho_new, rho)
+        P = R + beta * (P - omega * V)
+        P[:, ~active] = 0.0
+        Phat = M(P)
+        V = matmat(Phat)
+        denom = np.einsum("ij,ij->j", R_hat, V)
+        active = active & (denom != 0.0)
+        alpha = np.where(
+            active, rho / np.where(denom != 0.0, denom, 1.0), 0.0
+        )
+        S = R - alpha * V
+        snorm = np.linalg.norm(S, axis=0)
+        # Mid-step convergence: take the half update and freeze.
+        half = active & (snorm <= tol * bnorm)
+        X += np.where(half, alpha, 0.0) * Phat
+        converged = converged | half
+        active = active & ~half
+        Shat = M(S)
+        T = matmat(Shat)
+        tt = np.einsum("ij,ij->j", T, T)
+        active = active & (tt != 0.0)
+        omega = np.where(
+            active,
+            np.einsum("ij,ij->j", T, S) / np.where(tt != 0.0, tt, 1.0),
+            0.0,
+        )
+        step = np.where(active, alpha, 0.0)
+        X += step * Phat + omega * Shat
+        R = np.where(active, S - omega * T, R)
+        rnorm = np.where(active, np.linalg.norm(R, axis=0), history[-1])
+        rnorm = np.where(half, snorm, rnorm)
+        history.append(rnorm.copy())
+        iterations = it
+        newly = active & (rnorm <= tol * bnorm)
+        converged = converged | newly
+        active = active & ~newly
+
+    final = history[-1]
+    return SolveResult(
+        x=X, converged=bool(converged.all()), iterations=iterations,
+        residual_norm=float(final.max(initial=0.0)),
+        residual_history=np.array(history),
     )

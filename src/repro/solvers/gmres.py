@@ -24,14 +24,43 @@ def gmres(
     maxiter: int = 10_000,
     preconditioner=None,
 ) -> SolveResult:
-    """Solve ``A x = b`` with GMRES(restart), left-preconditioned."""
-    matvec = as_matvec(A)
-    M = preconditioner or identity_preconditioner
+    """Solve ``A x = b`` with GMRES(restart), left-preconditioned.
+
+    A 2-D ``b`` of shape ``(n, k)`` solves the ``k`` systems column by
+    column: each column builds its own Krylov space, so unlike CG /
+    BiCGSTAB the Arnoldi process cannot share one batched apply across
+    columns. The block form is provided for interface uniformity; the
+    result stacks the per-column solutions (``iterations`` sums the
+    per-column counts, ``residual_norm`` is the worst column).
+    """
     b = np.asarray(b, dtype=np.float64)
     if restart < 1:
         raise ValueError("restart must be >= 1")
     if maxiter < 1:
         raise ValueError("maxiter must be >= 1")
+    if b.ndim == 2:
+        X0 = None if x0 is None else np.asarray(x0, dtype=np.float64)
+        results = [
+            gmres(
+                A, b[:, j],
+                None if X0 is None else X0[:, j],
+                tol=tol, restart=restart, maxiter=maxiter,
+                preconditioner=preconditioner,
+            )
+            for j in range(b.shape[1])
+        ]
+        return SolveResult(
+            x=np.column_stack([r.x for r in results])
+            if results else np.zeros_like(b),
+            converged=all(r.converged for r in results),
+            iterations=sum(r.iterations for r in results),
+            residual_norm=max(
+                (r.residual_norm for r in results), default=0.0
+            ),
+            residual_history=None,
+        )
+    matvec = as_matvec(A)
+    M = preconditioner or identity_preconditioner
     n = b.size
     x = (
         np.zeros_like(b)

@@ -1,0 +1,149 @@
+"""Tests for the operator plan cache (structural fingerprinting)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveSpMV, PlanCache, matrix_fingerprint
+from repro.core.optimizer import _values_digest
+from repro.formats import CSRMatrix
+from repro.machine import KNL
+
+
+def _with_values(csr, values):
+    return CSRMatrix(csr.rowptr, csr.colind, values, csr.shape)
+
+
+# -- fingerprint -------------------------------------------------------
+
+
+def test_fingerprint_is_structural(small_random_csr, rng):
+    fp = matrix_fingerprint(small_random_csr)
+    same_structure = _with_values(
+        small_random_csr, rng.standard_normal(small_random_csr.nnz)
+    )
+    assert matrix_fingerprint(same_structure) == fp
+    assert _values_digest(same_structure) != _values_digest(
+        small_random_csr
+    )
+
+
+def test_fingerprint_distinguishes_structure(small_random_csr,
+                                             scattered_csr):
+    assert matrix_fingerprint(small_random_csr) != matrix_fingerprint(
+        scattered_csr
+    )
+    # same nnz pattern length, different column = different fingerprint
+    a = CSRMatrix([0, 2], [0, 1], [1.0, 2.0], (1, 4))
+    b = CSRMatrix([0, 2], [0, 2], [1.0, 2.0], (1, 4))
+    assert matrix_fingerprint(a) != matrix_fingerprint(b)
+
+
+# -- cache semantics ---------------------------------------------------
+
+
+def test_second_optimize_hits_cache(small_random_csr, x300):
+    opt = AdaptiveSpMV(KNL, classifier="profile")
+    first = opt.optimize(small_random_csr)
+    assert not first.plan.cache_hit
+    assert first.plan.total_overhead_seconds > 0.0
+
+    second = opt.optimize(small_random_csr)
+    assert second.plan.cache_hit
+    assert second.plan.decision_seconds == 0.0
+    assert second.plan.setup_seconds == 0.0
+    assert second.plan.total_overhead_seconds == 0.0
+    # identical decision and reused converted data
+    assert second.plan.kernel_name == first.plan.kernel_name
+    assert second.data is first.data
+    np.testing.assert_allclose(
+        second.matvec(x300), first.matvec(x300), rtol=1e-15
+    )
+    assert opt.plan_cache.hits == 1
+    assert opt.plan_cache.misses == 1
+
+
+def test_same_structure_new_values_reuses_decision(small_random_csr, rng,
+                                                   x300):
+    opt = AdaptiveSpMV(KNL, classifier="profile")
+    opt.optimize(small_random_csr)
+    changed = _with_values(
+        small_random_csr, rng.standard_normal(small_random_csr.nnz)
+    )
+    op = opt.optimize(changed)
+    assert op.plan.cache_hit
+    assert op.plan.decision_seconds == 0.0
+    assert op.plan.setup_seconds > 0.0  # conversion re-ran, stays charged
+    np.testing.assert_allclose(
+        op.matvec(x300), changed.matvec(x300), rtol=1e-9, atol=1e-9
+    )
+
+
+def test_plan_hits_cache_too(small_random_csr):
+    opt = AdaptiveSpMV(KNL, classifier="profile")
+    first = opt.plan(small_random_csr)
+    assert not first.cache_hit and first.decision_seconds > 0.0
+    second = opt.plan(small_random_csr)
+    assert second.cache_hit and second.decision_seconds == 0.0
+
+
+def test_shared_cache_across_optimizers(small_random_csr):
+    shared = PlanCache()
+    a = AdaptiveSpMV(KNL, classifier="profile", plan_cache=shared)
+    b = AdaptiveSpMV(KNL, classifier="profile", plan_cache=shared)
+    a.optimize(small_random_csr)
+    op = b.optimize(small_random_csr)
+    assert op.plan.cache_hit
+    assert shared.hits == 1 and shared.misses == 1
+
+
+def test_cache_disabled(small_random_csr):
+    opt = AdaptiveSpMV(KNL, classifier="profile", plan_cache=False)
+    assert opt.plan_cache is None
+    opt.optimize(small_random_csr)
+    op = opt.optimize(small_random_csr)
+    assert not op.plan.cache_hit
+    assert op.plan.total_overhead_seconds > 0.0
+
+
+def test_cache_rejects_bad_argument(small_random_csr):
+    with pytest.raises(TypeError, match="plan_cache"):
+        AdaptiveSpMV(KNL, plan_cache=object())
+
+
+def test_cache_lru_eviction(rng):
+    cache = PlanCache(maxsize=2)
+    opt = AdaptiveSpMV(KNL, classifier="profile", plan_cache=cache)
+    mats = []
+    for seed in range(3):
+        r = np.random.default_rng(seed)
+        rows = np.repeat(np.arange(20), 3)
+        cols = np.tile([1 + seed, 7 + seed, 13 + seed], 20)
+        mats.append(CSRMatrix.from_arrays(
+            rows, cols, r.standard_normal(60), (20, 30)
+        ))
+    for m in mats:
+        opt.optimize(m)
+    assert len(cache) == 2
+    # the oldest entry was evicted -> re-optimizing it misses
+    op = opt.optimize(mats[0])
+    assert not op.plan.cache_hit
+
+
+def test_cache_clear(small_random_csr):
+    opt = AdaptiveSpMV(KNL, classifier="profile")
+    opt.optimize(small_random_csr)
+    opt.plan_cache.clear()
+    assert len(opt.plan_cache) == 0
+    op = opt.optimize(small_random_csr)
+    assert not op.plan.cache_hit
+
+
+def test_different_machines_do_not_share_plans(small_random_csr):
+    from repro.machine import KNC
+
+    shared = PlanCache()
+    a = AdaptiveSpMV(KNL, classifier="profile", plan_cache=shared)
+    b = AdaptiveSpMV(KNC, classifier="profile", plan_cache=shared)
+    a.optimize(small_random_csr)
+    op = b.optimize(small_random_csr)
+    assert not op.plan.cache_hit

@@ -82,3 +82,25 @@ def test_compensated_empty_rows(empty_row_csr):
 def test_compensated_shape_validation(small_random_csr):
     with pytest.raises(ValueError):
         small_random_csr.matvec_compensated(np.zeros(7))
+
+
+def test_compensated_one_long_row_among_empties():
+    """Regression: one long row amid empty rows must still accumulate
+    every element — the lockstep loop's early exit (taken when no row
+    remains active) must not trigger while the long row has elements
+    left."""
+    n = 40
+    rowptr = np.zeros(n + 1, dtype=np.int64)
+    rowptr[21:] = 30  # row 20 holds all 30 nonzeros, the rest are empty
+    vals = np.concatenate([[1e15], np.ones(28), [-1e15]])
+    csr = CSRMatrix(rowptr, np.arange(30, dtype=np.int32), vals, (n, 30))
+    y = csr.matvec_compensated(np.ones(30))
+    assert y[20] == pytest.approx(math.fsum(vals))
+    assert np.count_nonzero(y) == 1
+
+
+def test_compensated_all_rows_empty():
+    csr = CSRMatrix(np.zeros(5, dtype=np.int64), [], [], (4, 3))
+    np.testing.assert_array_equal(
+        csr.matvec_compensated(np.ones(3)), np.zeros(4)
+    )

@@ -1,0 +1,76 @@
+"""Smoke test for the batched-throughput benchmark harness.
+
+Runs the real harness on tiny matrices (well under a second) and
+validates the ``BENCH_kernels.json`` schema, so a broken harness or a
+silent schema drift fails CI without paying full benchmark cost.
+"""
+
+import json
+
+import numpy as np
+
+from repro.experiments.bench_batched import (
+    BENCH_SCHEMA_KEYS,
+    ROW_SCHEMA_KEYS,
+    SCHEMA_VERSION,
+    bench_kernels,
+    run,
+)
+from repro.matrices.generators import banded, random_uniform
+
+TINY = [
+    ("banded", banded(200, nnz_per_row=6, bandwidth=16, seed=5)),
+    ("scattered", random_uniform(200, nnz_per_row=8.0, seed=6)),
+]
+
+
+def _validate(payload):
+    assert BENCH_SCHEMA_KEYS <= payload.keys()
+    assert payload["schema_version"] == SCHEMA_VERSION
+    assert payload["rhs"] >= 1 and payload["repeats"] >= 1
+    assert len(payload["suite"]) == len(TINY)
+    assert payload["kernels"], "no measurement rows"
+    matrices = {s["matrix"] for s in payload["suite"]}
+    for row in payload["kernels"]:
+        assert ROW_SCHEMA_KEYS <= row.keys()
+        assert row["matrix"] in matrices
+        assert row["nrows"] > 0 and row["nnz"] > 0
+        assert row["single_gflops"] > 0.0
+        assert row["batched_gflops"] > 0.0
+        assert row["speedup"] > 0.0
+    assert payload["geomean_speedup"] > 0.0
+
+
+def test_bench_payload_schema():
+    payload = bench_kernels(rhs=4, repeats=1, matrices=TINY)
+    _validate(payload)
+    # speedup must be the ratio of the reported throughputs
+    for row in payload["kernels"]:
+        assert row["speedup"] == (
+            row["batched_gflops"] / row["single_gflops"]
+        ) or abs(
+            row["speedup"] - row["batched_gflops"] / row["single_gflops"]
+        ) < 1e-9
+
+
+def test_run_writes_valid_json(tmp_path):
+    out = tmp_path / "BENCH_kernels.json"
+    table = run(rhs=4, repeats=1, out_path=str(out), matrices=TINY)
+    assert out.exists()
+    payload = json.loads(out.read_text())
+    _validate(payload)
+    # the rendered table carries one line per measurement row
+    assert len(table.rows) == len(payload["kernels"])
+
+
+def test_run_can_skip_writing(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    run(rhs=2, repeats=1, out_path=None, matrices=TINY)
+    assert not (tmp_path / "BENCH_kernels.json").exists()
+
+
+def test_bench_rejects_bad_rhs():
+    import pytest
+
+    with pytest.raises(ValueError, match="rhs"):
+        bench_kernels(rhs=0, matrices=TINY)
