@@ -21,6 +21,14 @@ Quickstart::
 """
 
 from .baselines import InspectorExecutor, TrivialOptimizer, mkl_csr_kernel, run_mkl_csr
+from .errors import (
+    FormatValidationError,
+    KernelExecutionError,
+    ReproError,
+    SolverBreakdownError,
+    ValidationIssue,
+    ValidationReport,
+)
 from .core import (
     AdaptiveSpMV,
     Bottleneck,
@@ -61,7 +69,14 @@ from .matrices import (
     training_suite,
     write_matrix_market,
 )
-from .solvers import bicgstab, cg, gmres, jacobi_preconditioner
+from .guard import (
+    GuardedKernel,
+    clear_quarantine,
+    is_quarantined,
+    quarantined_kernel_names,
+    validate_format,
+)
+from .solvers import SolverReport, bicgstab, cg, gmres, jacobi_preconditioner
 
 __version__ = "1.0.0"
 
@@ -121,4 +136,17 @@ __all__ = [
     "bicgstab",
     "gmres",
     "jacobi_preconditioner",
+    "SolverReport",
+    # guard / error taxonomy
+    "ReproError",
+    "FormatValidationError",
+    "KernelExecutionError",
+    "SolverBreakdownError",
+    "ValidationIssue",
+    "ValidationReport",
+    "validate_format",
+    "GuardedKernel",
+    "is_quarantined",
+    "quarantined_kernel_names",
+    "clear_quarantine",
 ]

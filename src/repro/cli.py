@@ -5,6 +5,7 @@
     repro-spmv suite                      # list the named matrix suite
     repro-spmv analyze NAME --platform knl
     repro-spmv analyze path/to/matrix.mtx --platform knc
+    repro-spmv validate path/to/matrix.mtx
     repro-spmv bench --rhs 32             # single vs batched GFLOP/s
     repro-spmv experiment fig7-knl --scale 0.5
     repro-spmv experiments                # list experiment ids
@@ -46,6 +47,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--platform", default="knl",
                       choices=sorted(PLATFORMS))
     p_an.add_argument("--scale", type=float, default=1.0)
+
+    p_val = sub.add_parser(
+        "validate",
+        help="validate a MatrixMarket file (structure + values); "
+        "nonzero exit on failure",
+    )
+    p_val.add_argument("matrix", help="MatrixMarket file path")
+    p_val.add_argument("--no-values", action="store_true",
+                       help="skip the finite-values check")
 
     p_tr = sub.add_parser(
         "train", help="train and save a feature-guided classifier"
@@ -129,6 +139,31 @@ def _cmd_analyze(args) -> int:
         f"paid {1e3 * op.plan.total_overhead_seconds:.2f} ms)"
     )
     return 0
+
+
+def _cmd_validate(args) -> int:
+    from .matrices.mmio import MatrixMarketError
+
+    try:
+        csr = read_matrix_market(args.matrix)
+    except MatrixMarketError as exc:
+        print(f"{args.matrix}: INVALID ({exc})", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"{args.matrix}: cannot read ({exc})", file=sys.stderr)
+        return 1
+    report = csr.validate(strict=False, check_values=not args.no_values)
+    if report.ok:
+        print(
+            f"{args.matrix}: OK ({csr.nrows}x{csr.ncols}, "
+            f"nnz={csr.nnz})"
+        )
+        return 0
+    print(f"{args.matrix}: INVALID ({len(report.issues)} issue(s))",
+          file=sys.stderr)
+    for issue in report.issues:
+        print(f"  [{issue.code}] {issue.message}", file=sys.stderr)
+    return 1
 
 
 def _cmd_bench(args) -> int:
@@ -244,6 +279,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "suite": _cmd_suite,
         "analyze": _cmd_analyze,
+        "validate": _cmd_validate,
         "bench": _cmd_bench,
         "train": _cmd_train,
         "export-suite": _cmd_export_suite,

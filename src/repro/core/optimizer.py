@@ -20,13 +20,14 @@ the cache hit is visible in ``OptimizationPlan.decision_seconds`` /
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from ..formats import CSRMatrix
-from ..kernels import ConfiguredSpMV, baseline_kernel
+from ..kernels import ConfiguredSpMV, baseline_kernel, is_quarantined
 from ..machine import ExecutionEngine, MachineSpec, RunResult
 from ..matrices.features import extract_features
 from ..sched import Partition
@@ -91,6 +92,11 @@ class PlanCache:
     conversion re-runs (and stays charged) but the decision is still
     free. Instances can be shared between :class:`AdaptiveSpMV`
     optimizers to pool their decisions.
+
+    All mutating operations take an internal lock, so one cache can be
+    shared between optimizers running on different threads; the
+    ``evictions`` / ``invalidations`` counters (visible in ``repr``)
+    track LRU pressure and guard-layer entry drops respectively.
     """
 
     def __init__(self, maxsize: int = 32):
@@ -98,36 +104,57 @@ class PlanCache:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = int(maxsize)
         self._entries: OrderedDict[tuple, _CacheEntry] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
 
     def get(self, key: tuple) -> _CacheEntry | None:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def store(self, key: tuple, entry: _CacheEntry) -> None:
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self, key: tuple) -> bool:
+        """Drop one entry (stale digest, quarantined kernel); returns
+        whether the key was present."""
+        with self._lock:
+            present = self._entries.pop(key, None) is not None
+            if present:
+                self.invalidations += 1
+            return present
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.invalidations = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"<PlanCache {len(self)}/{self.maxsize} "
-            f"hits={self.hits} misses={self.misses}>"
+            f"hits={self.hits} misses={self.misses} "
+            f"evictions={self.evictions} "
+            f"invalidations={self.invalidations}>"
         )
 
 
@@ -142,6 +169,7 @@ class OptimizationPlan:
     setup_seconds: float         # conversion + JIT codegen
     classifier_kind: str
     cache_hit: bool = False      # served from a PlanCache?
+    quarantined: tuple[str, ...] = ()  # variants skipped as quarantined
 
     @property
     def total_overhead_seconds(self) -> float:
@@ -209,6 +237,15 @@ class AdaptiveSpMV:
         ``None`` (default) gives the optimizer a private
         :class:`PlanCache`; pass a shared :class:`PlanCache` to pool
         decisions across optimizers, or ``False`` to disable caching.
+    guard
+        When true, the selected kernel is wrapped in a
+        :class:`~repro.guard.guarded.GuardedKernel`: runtime faults
+        quarantine the variant and fall back to the reference CSR
+        numeric plane instead of escaping. Independently of ``guard``,
+        the optimizer never *plans* an already-quarantined variant (it
+        substitutes the baseline kernel and notes the skipped name in
+        ``OptimizationPlan.quarantined``), and cached entries whose
+        kernel has since been quarantined are invalidated on lookup.
     """
 
     def __init__(
@@ -218,10 +255,12 @@ class AdaptiveSpMV:
         pool: OptimizationPool | None = None,
         nthreads: int | None = None,
         plan_cache: "PlanCache | None | bool" = None,
+        guard: bool = False,
     ):
         self.machine = machine
         self.pool = pool or DEFAULT_POOL
         self.nthreads = nthreads
+        self.guard = bool(guard)
         if plan_cache is None:
             self.plan_cache: PlanCache | None = PlanCache()
         elif plan_cache is False:
@@ -274,6 +313,16 @@ class AdaptiveSpMV:
             if optimizations
             else baseline_kernel()
         )
+        quarantined: tuple[str, ...] = ()
+        if optimizations and is_quarantined(kernel.name):
+            # The selected variant is known-bad: plan the reference
+            # kernel instead and record what was skipped.
+            quarantined = (kernel.name,)
+            kernel = baseline_kernel()
+        if self.guard:
+            from ..guard.guarded import GuardedKernel
+
+            kernel = GuardedKernel(kernel)
         setup_seconds = kernel.preprocessing_seconds(csr, self.machine)
         plan = OptimizationPlan(
             classes=classes,
@@ -282,15 +331,29 @@ class AdaptiveSpMV:
             decision_seconds=decision_seconds,
             setup_seconds=setup_seconds,
             classifier_kind=self.classifier_kind,
+            quarantined=quarantined,
         )
         return plan, kernel
 
     def _lookup(self, csr: CSRMatrix):
-        """Return ``(key, entry)`` for ``csr``; both None with caching off."""
+        """Return ``(key, entry)`` for ``csr``; both None with caching off.
+
+        A cached entry whose kernel has since been quarantined is stale:
+        it is invalidated here and reported as a miss so the plan is
+        redone against the current quarantine list.
+        """
         if self.plan_cache is None:
             return None, None
         key = self._cache_key(matrix_fingerprint(csr))
-        return key, self.plan_cache.get(key)
+        entry = self.plan_cache.get(key)
+        if (
+            entry is not None
+            and entry.plan.optimizations
+            and is_quarantined(entry.kernel.name)
+        ):
+            self.plan_cache.invalidate(key)
+            entry = None
+        return key, entry
 
     def plan(self, csr: CSRMatrix) -> OptimizationPlan:
         """Classify and select optimizations without converting data."""

@@ -1,0 +1,115 @@
+"""Typed exception hierarchy and validation reporting for the library.
+
+Every failure the guard layer (:mod:`repro.guard`) can detect maps to a
+subclass of :class:`ReproError`, so callers can catch one base type at a
+service boundary instead of fishing for bare ``ValueError`` /
+``RuntimeError`` raised deep inside vectorized NumPy code. The concrete
+subclasses also inherit the builtin exception they historically were
+(``ValueError`` for malformed input, ``RuntimeError`` for execution
+faults), so pre-existing ``except ValueError`` call sites keep working.
+
+:class:`ValidationReport` is the permissive-mode counterpart: instead of
+raising on the first defect, a format's ``validate(strict=False)``
+collects every detected issue into a report the caller can log, surface
+in a CLI, or turn into a :class:`FormatValidationError` later via
+:meth:`ValidationReport.raise_if_failed`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ReproError",
+    "FormatValidationError",
+    "KernelExecutionError",
+    "SolverBreakdownError",
+    "ValidationIssue",
+    "ValidationReport",
+]
+
+
+class ReproError(Exception):
+    """Base class for all typed errors raised by this library."""
+
+
+class KernelExecutionError(ReproError, RuntimeError):
+    """A kernel variant failed during execution (raised, produced
+    non-finite output from finite input, or returned a wrong shape).
+
+    The guarded execution layer normally *recovers* from these by
+    falling back to the reference CSR kernel; this exception is raised
+    only when recovery is impossible (e.g. no fallback data available).
+    """
+
+
+class SolverBreakdownError(ReproError, RuntimeError):
+    """An iterative solver broke down irrecoverably.
+
+    The solvers themselves prefer returning a diagnostic
+    ``SolveResult`` with ``report.breakdown`` set; this type exists for
+    callers who want to escalate such a result into an exception.
+    """
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One defect found by structural or value validation."""
+
+    #: machine-readable slug, e.g. ``"rowptr-nonmonotonic"``.
+    code: str
+    #: human-readable description with offending positions/values.
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.code}] {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """Accumulated result of one ``validate()`` pass over a format."""
+
+    format_name: str
+    issues: list[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def add(self, code: str, message: str) -> None:
+        self.issues.append(ValidationIssue(code, message))
+
+    def extend(self, other: "ValidationReport", prefix: str = "") -> None:
+        """Merge a sub-report (e.g. a nested format's), prefixing codes."""
+        for issue in other.issues:
+            self.add(prefix + issue.code, issue.message)
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise FormatValidationError(self)
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"{self.format_name}: ok"
+        lines = [f"{self.format_name}: {len(self.issues)} issue(s)"]
+        lines += [f"  {issue}" for issue in self.issues]
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.summary()
+
+
+class FormatValidationError(ReproError, ValueError):
+    """A sparse format failed structural or value validation.
+
+    Carries the full :class:`ValidationReport` as ``.report`` so strict
+    callers still see every defect, not just the first.
+    """
+
+    def __init__(self, report: ValidationReport):
+        self.report = report
+        detail = "; ".join(str(issue) for issue in report.issues)
+        super().__init__(
+            f"{report.format_name} failed validation with "
+            f"{len(report.issues)} issue(s): {detail}"
+        )

@@ -19,6 +19,8 @@ import abc
 
 import numpy as np
 
+from ..errors import ValidationReport
+
 __all__ = ["SparseFormat"]
 
 
@@ -27,6 +29,51 @@ class SparseFormat(abc.ABC):
 
     #: short identifier used in reports, e.g. ``"csr"``.
     format_name: str = "abstract"
+
+    # -- validation plane ---------------------------------------------
+
+    def validate(self, *, strict: bool = True,
+                 check_values: bool = True) -> ValidationReport:
+        """Check the structural invariants (and optionally value
+        finiteness) of this format's stored arrays.
+
+        Constructors reject many malformed inputs up front, but arrays
+        can be corrupted after construction (in-place mutation, buggy
+        converters, fault injection); ``validate`` re-checks every
+        invariant the kernels rely on.
+
+        With ``strict=True`` (the default) a
+        :class:`~repro.errors.FormatValidationError` is raised listing
+        every detected issue; with ``strict=False`` (permissive mode)
+        the full :class:`~repro.errors.ValidationReport` is returned and
+        never raises — callers inspect ``report.ok``.
+        """
+        report = ValidationReport(self.format_name)
+        self._validate_structure(report)
+        if check_values:
+            self._validate_values(report)
+        if strict:
+            report.raise_if_failed()
+        return report
+
+    def _validate_structure(self, report: ValidationReport) -> None:
+        """Format-specific structural checks (overridden per format)."""
+
+    def _value_arrays(self):
+        """``(name, array)`` pairs of numeric payloads to finiteness-check."""
+        values = getattr(self, "values", None)
+        return [("values", values)] if values is not None else []
+
+    def _validate_values(self, report: ValidationReport) -> None:
+        for name, arr in self._value_arrays():
+            bad = ~np.isfinite(arr)
+            if bad.any():
+                flat = np.flatnonzero(bad.ravel())
+                report.add(
+                    "non-finite-values",
+                    f"{name} contains {flat.size} non-finite entrie(s) "
+                    f"(first at flat index {int(flat[0])})",
+                )
 
     @property
     @abc.abstractmethod
@@ -126,3 +173,80 @@ class SparseFormat(abc.ABC):
             f"<{type(self).__name__} {r}x{c} nnz={self.nnz} "
             f"bytes={self.total_nbytes()}>"
         )
+
+
+# -- shared validation checks (used by the concrete formats) ----------
+
+
+def check_pointer_array(report: ValidationReport, name: str,
+                        ptr: np.ndarray, *, nseg: int, end: int) -> bool:
+    """Validate a CSR-style offset array: length ``nseg + 1``, starts at
+    0, non-decreasing, ends exactly at ``end``.
+
+    Returns True when the pointer is safe to *index with* (monotone and
+    in range), so callers can gate derived checks on it.
+    """
+    ok = True
+    if ptr.ndim != 1 or ptr.size != nseg + 1:
+        report.add(
+            f"{name}-length",
+            f"{name} must have {nseg + 1} entries, got shape {ptr.shape}",
+        )
+        return False
+    if ptr[0] != 0:
+        report.add(f"{name}-start", f"{name}[0] must be 0, got {int(ptr[0])}")
+        ok = False
+    drops = np.flatnonzero(np.diff(ptr) < 0)
+    if drops.size:
+        p = int(drops[0])
+        report.add(
+            f"{name}-nonmonotonic",
+            f"{name} decreases at position {p + 1} "
+            f"({int(ptr[p])} -> {int(ptr[p + 1])})",
+        )
+        ok = False
+    if ptr[-1] != end:
+        report.add(
+            f"{name}-end",
+            f"{name}[-1] must equal {end}, got {int(ptr[-1])}",
+        )
+        ok = False
+    return ok
+
+
+def check_index_bounds(report: ValidationReport, name: str,
+                       idx: np.ndarray, upper: int) -> bool:
+    """Validate that every index lies in ``[0, upper)``."""
+    if idx.size == 0:
+        return True
+    ok = True
+    lo = int(idx.min())
+    hi = int(idx.max())
+    if lo < 0:
+        p = int(np.flatnonzero(idx < 0)[0])
+        report.add(
+            f"{name}-negative",
+            f"{name}[{p}] = {int(idx[p])} is negative",
+        )
+        ok = False
+    if hi >= upper:
+        p = int(np.flatnonzero(idx >= upper)[0])
+        report.add(
+            f"{name}-out-of-bounds",
+            f"{name}[{p}] = {int(idx[p])} exceeds bound {upper - 1}",
+        )
+        ok = False
+    return ok
+
+
+def check_equal_length(report: ValidationReport, name_a: str,
+                       a: np.ndarray, name_b: str, b: np.ndarray) -> bool:
+    """Validate that two parallel arrays have equal length."""
+    if a.shape[0] != b.shape[0]:
+        report.add(
+            "length-mismatch",
+            f"{name_a} ({a.shape[0]}) and {name_b} ({b.shape[0]}) "
+            f"must have equal length",
+        )
+        return False
+    return True

@@ -128,6 +128,42 @@ class BCSRMatrix(SparseFormat):
         """Logical nonzeros (excluding fill-in)."""
         return self._nnz
 
+    def _validate_structure(self, report) -> None:
+        from .base import check_index_bounds, check_pointer_array
+
+        r = self.block
+        if r < 1:
+            report.add("block-size", f"block must be >= 1, got {r}")
+            return
+        nbrows = -(-self.nrows // r)
+        nbcols = -(-self.ncols // r)
+        nblocks = self.block_colind.size
+        check_pointer_array(
+            report, "block_rowptr", self.block_rowptr,
+            nseg=nbrows, end=nblocks,
+        )
+        check_index_bounds(
+            report, "block_colind", self.block_colind, nbcols
+        )
+        if self.block_values.shape != (nblocks, r, r):
+            report.add(
+                "block-values-shape",
+                f"block_values must have shape ({nblocks}, {r}, {r}), "
+                f"got {self.block_values.shape}",
+            )
+        stored = int(np.count_nonzero(self.block_values))
+        if stored > self._nnz:
+            # Fill-in slots are explicit zeros; more *nonzero* entries
+            # than the logical nnz means values leaked into padding.
+            report.add(
+                "nnz-accounting",
+                f"{stored} nonzero stored values exceed logical "
+                f"nnz={self._nnz}",
+            )
+
+    def _value_arrays(self):
+        return [("block_values", self.block_values)]
+
     @property
     def nblocks(self) -> int:
         return int(self.block_colind.size)

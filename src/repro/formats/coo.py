@@ -79,6 +79,28 @@ class COOMatrix(SparseFormat):
     def nnz(self) -> int:
         return int(self.values.size)
 
+    def _validate_structure(self, report) -> None:
+        from .base import check_equal_length, check_index_bounds
+
+        check_equal_length(report, "rows", self.rows, "cols", self.cols)
+        check_equal_length(report, "rows", self.rows,
+                           "values", self.values)
+        rows_ok = check_index_bounds(report, "rows", self.rows, self.nrows)
+        cols_ok = check_index_bounds(report, "cols", self.cols, self.ncols)
+        if (rows_ok and cols_ok and self.rows.size > 1
+                and self.rows.size == self.cols.size):
+            # Canonical COO is sorted by (row, col) with duplicates
+            # merged; the batched kernel builds row segments from runs.
+            key = self.rows * np.int64(self.ncols) + self.cols
+            bad = np.flatnonzero(np.diff(key) <= 0)
+            if bad.size:
+                p = int(bad[0]) + 1
+                report.add(
+                    "entries-unsorted",
+                    f"entries not in strict (row, col) order at position "
+                    f"{p} (row {int(self.rows[p])}, col {int(self.cols[p])})",
+                )
+
     def matvec(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.ncols,):

@@ -72,6 +72,37 @@ class CSRMatrix(SparseFormat):
     def nnz(self) -> int:
         return int(self.values.size)
 
+    def _validate_structure(self, report) -> None:
+        from .base import (
+            check_equal_length,
+            check_index_bounds,
+            check_pointer_array,
+        )
+
+        ptr_ok = check_pointer_array(
+            report, "rowptr", self.rowptr,
+            nseg=self.nrows, end=self.colind.size,
+        )
+        check_equal_length(report, "colind", self.colind,
+                           "values", self.values)
+        check_index_bounds(report, "colind", self.colind, self.ncols)
+        if ptr_ok and self.colind.size:
+            # Canonical CSR keeps columns strictly increasing per row;
+            # duplicates or disorder silently break reduceat kernels.
+            gaps = np.diff(self.colind.astype(np.int64))
+            interior = np.ones(self.colind.size - 1, dtype=bool)
+            starts = self.rowptr[1:-1]
+            starts = starts[(starts > 0) & (starts <= interior.size)]
+            interior[starts - 1] = False
+            bad = np.flatnonzero(interior & (gaps <= 0))
+            if bad.size:
+                p = int(bad[0]) + 1
+                report.add(
+                    "colind-unsorted",
+                    f"colind not strictly increasing within its row at "
+                    f"position {p} (value {int(self.colind[p])})",
+                )
+
     def matvec(self, x: np.ndarray) -> np.ndarray:
         """Compute ``y = A @ x`` via a segmented gather-multiply-reduce."""
         x = np.asarray(x, dtype=np.float64)

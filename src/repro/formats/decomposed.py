@@ -135,6 +135,50 @@ class DecomposedCSR(SparseFormat):
     def nnz(self) -> int:
         return int(self.short.nnz + self.long_values.size)
 
+    def _validate_structure(self, report) -> None:
+        from .base import (
+            check_equal_length,
+            check_index_bounds,
+            check_pointer_array,
+        )
+
+        short_report = self.short.validate(strict=False,
+                                           check_values=False)
+        report.extend(short_report, prefix="short.")
+        rows_ok = check_index_bounds(report, "long_rows", self.long_rows,
+                                     self.nrows)
+        if self.long_rows.size > 1 and np.any(np.diff(self.long_rows) <= 0):
+            report.add(
+                "long-rows-nonmonotonic",
+                "long_rows must be strictly increasing",
+            )
+            rows_ok = False
+        check_pointer_array(
+            report, "long_rowptr", self.long_rowptr,
+            nseg=self.long_rows.size, end=self.long_values.size,
+        )
+        check_equal_length(report, "long_colind", self.long_colind,
+                           "long_values", self.long_values)
+        check_index_bounds(report, "long_colind", self.long_colind,
+                           self.ncols)
+        if rows_ok and short_report.ok and self.long_rows.size:
+            overlap = np.flatnonzero(
+                self.short.row_nnz()[self.long_rows] > 0
+            )
+            if overlap.size:
+                r = int(self.long_rows[overlap[0]])
+                report.add(
+                    "long-row-overlap",
+                    f"row {r} is stored in both the short and the long "
+                    f"part",
+                )
+
+    def _value_arrays(self):
+        return [
+            ("short.values", self.short.values),
+            ("long_values", self.long_values),
+        ]
+
     @property
     def n_long_rows(self) -> int:
         return int(self.long_rows.size)

@@ -157,6 +157,58 @@ class DeltaCSR(SparseFormat):
     def nnz(self) -> int:
         return int(self.values.size)
 
+    def _validate_structure(self, report) -> None:
+        from .base import (
+            check_equal_length,
+            check_index_bounds,
+            check_pointer_array,
+        )
+
+        nnz = self.values.size
+        ptr_ok = check_pointer_array(
+            report, "rowptr", self.rowptr, nseg=self.nrows, end=nnz
+        )
+        check_equal_length(report, "deltas", self.deltas,
+                           "values", self.values)
+        resets_ok = True
+        if self.reset_pos.size != self.reset_col.size:
+            report.add(
+                "length-mismatch",
+                f"reset_pos ({self.reset_pos.size}) and reset_col "
+                f"({self.reset_col.size}) must have equal length",
+            )
+            resets_ok = False
+        if nnz and (self.reset_pos.size == 0 or self.reset_pos[0] != 0):
+            report.add(
+                "reset-pos-start",
+                "the first nonzero must be a reset point",
+            )
+            resets_ok = False
+        if np.any(np.diff(self.reset_pos) <= 0):
+            report.add(
+                "reset-pos-nonmonotonic",
+                "reset_pos must be strictly increasing",
+            )
+            resets_ok = False
+        if not check_index_bounds(report, "reset_pos", self.reset_pos,
+                                  max(nnz, 1)):
+            resets_ok = False
+        check_index_bounds(report, "reset_col", self.reset_col, self.ncols)
+        if (resets_ok and self.reset_pos.size
+                and self.deltas.size == nnz
+                and (self.deltas[self.reset_pos] != 0).any()):
+            p = int(np.flatnonzero(self.deltas[self.reset_pos] != 0)[0])
+            report.add(
+                "reset-delta-nonzero",
+                f"in-line delta at reset point {int(self.reset_pos[p])} "
+                f"must be 0",
+            )
+        if ptr_ok and resets_ok and self.deltas.size == nnz:
+            # Decoded absolute columns must land inside the matrix.
+            decoded = self.decode_colind().astype(np.int64)
+            check_index_bounds(report, "decoded-colind", decoded,
+                               self.ncols)
+
     def matvec(self, x: np.ndarray) -> np.ndarray:
         # Numeric plane: decode then run the CSR kernel. The cost plane
         # (repro.kernels.compressed) charges the decode to compute cycles

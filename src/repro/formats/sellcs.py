@@ -117,6 +117,57 @@ class SellCSigmaMatrix(SparseFormat):
     def nnz(self) -> int:
         return self._nnz
 
+    def _validate_structure(self, report) -> None:
+        from .base import (
+            check_equal_length,
+            check_index_bounds,
+            check_pointer_array,
+        )
+
+        C = self.chunk
+        if C < 1:
+            report.add("chunk-size", f"chunk must be >= 1, got {C}")
+            return
+        nchunks = self.chunk_len.size
+        ptr_ok = check_pointer_array(
+            report, "chunk_ptr", self.chunk_ptr,
+            nseg=nchunks, end=self.values.size,
+        )
+        if (self.chunk_len < 0).any():
+            p = int(np.flatnonzero(self.chunk_len < 0)[0])
+            report.add(
+                "chunk-len-negative",
+                f"chunk_len[{p}] = {int(self.chunk_len[p])} is negative",
+            )
+        elif ptr_ok:
+            # Slot/chunk consistency: each chunk stores exactly
+            # chunk_len[ci] * C column-major slots.
+            widths = np.diff(self.chunk_ptr)
+            bad = np.flatnonzero(widths != self.chunk_len * C)
+            if bad.size:
+                p = int(bad[0])
+                report.add(
+                    "chunk-slot-mismatch",
+                    f"chunk {p} spans {int(widths[p])} slots but "
+                    f"chunk_len * C = {int(self.chunk_len[p]) * C}",
+                )
+        check_equal_length(report, "colind", self.colind,
+                           "values", self.values)
+        check_index_bounds(report, "colind", self.colind, self.ncols)
+        if self.row_perm.size != self.nrows or not np.array_equal(
+            np.sort(self.row_perm), np.arange(self.nrows, dtype=np.int64)
+        ):
+            report.add(
+                "row-perm-invalid",
+                f"row_perm is not a permutation of 0..{self.nrows - 1}",
+            )
+        if self._nnz > self.values.size:
+            report.add(
+                "nnz-accounting",
+                f"logical nnz={self._nnz} exceeds the "
+                f"{self.values.size} stored slots",
+            )
+
     @property
     def nchunks(self) -> int:
         return int(self.chunk_len.size)

@@ -1,0 +1,157 @@
+"""Guarded kernel execution: catch faults, quarantine, fall back.
+
+:class:`GuardedKernel` wraps any :class:`~repro.kernels.base.Kernel`
+and turns three classes of runtime misbehavior into a recorded failure
+plus a transparent fallback to the reference CSR kernel:
+
+* the variant **raises** during ``preprocess`` / ``apply`` /
+  ``apply_multi``;
+* the variant returns output of the **wrong shape or dtype**;
+* the variant produces **non-finite output from finite input** (the
+  matrix values and the operand were finite, the result is not — a
+  kernel bug, not IEEE propagation).
+
+Failures are recorded per variant name in the kernel registry's
+quarantine store (:func:`repro.kernels.registry.record_kernel_failure`);
+once a variant reaches the quarantine threshold every guarded wrapper
+stops calling it and :class:`~repro.core.optimizer.AdaptiveSpMV`
+refuses to plan it. The fallback result is computed by
+``csr.matvec`` / ``csr.matmat`` on the original matrix — bit-identical
+to the baseline CSR kernel's numeric plane.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats import CSRMatrix
+from ..kernels.base import Kernel
+from ..kernels.registry import is_quarantined, record_kernel_failure
+from ..machine import KernelCost, MachineSpec
+from ..sched import Partition, make_partition
+
+__all__ = ["GuardedData", "GuardedKernel"]
+
+
+class GuardedData:
+    """Execution bundle of a guarded kernel: the wrapped variant's data
+    plus the original CSR kept for fallback."""
+
+    __slots__ = ("inner", "csr", "values_finite")
+
+    def __init__(self, inner, csr: CSRMatrix, values_finite: bool):
+        self.inner = inner          # None when preprocess failed/skipped
+        self.csr = csr
+        self.values_finite = values_finite
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "fallback" if self.inner is None else "ok"
+        return f"<GuardedData {state} {self.csr!r}>"
+
+
+class GuardedKernel(Kernel):
+    """Wrap ``inner`` so its faults quarantine it instead of escaping.
+
+    The wrapper is name-transparent (``name`` / ``optimizations`` /
+    ``schedule`` delegate to the wrapped variant) so plans, caches and
+    reports see the variant they selected; only the failure behavior
+    changes.
+    """
+
+    def __init__(self, inner: Kernel):
+        if isinstance(inner, GuardedKernel):
+            inner = inner.inner
+        self.inner = inner
+        self.name = inner.name
+        self.optimizations = inner.optimizations
+        self.schedule = inner.schedule
+
+    # -- preprocessing -------------------------------------------------
+
+    def preprocess(self, csr: CSRMatrix) -> GuardedData:
+        values_finite = bool(np.isfinite(csr.values).all())
+        if is_quarantined(self.inner.name):
+            return GuardedData(None, csr, values_finite)
+        try:
+            inner_data = self.inner.preprocess(csr)
+        except Exception as exc:
+            record_kernel_failure(
+                self.inner.name,
+                f"preprocess raised {type(exc).__name__}: {exc}",
+            )
+            inner_data = None
+        return GuardedData(inner_data, csr, values_finite)
+
+    def preprocessing_seconds(self, csr: CSRMatrix,
+                              machine: MachineSpec) -> float:
+        if is_quarantined(self.inner.name):
+            return 0.0
+        return self.inner.preprocessing_seconds(csr, machine)
+
+    # -- numeric plane -------------------------------------------------
+
+    def apply(self, data: GuardedData, x: np.ndarray) -> np.ndarray:
+        y = self._guarded(data, x, multi=False)
+        return y if y is not None else data.csr.matvec(x)
+
+    def apply_multi(self, data: GuardedData, X: np.ndarray) -> np.ndarray:
+        Y = self._guarded(data, X, multi=True)
+        return Y if Y is not None else data.csr.matmat(X)
+
+    def _guarded(self, data: GuardedData, x: np.ndarray,
+                 *, multi: bool) -> np.ndarray | None:
+        """Run the wrapped variant; None means 'use the CSR fallback'."""
+        name = self.inner.name
+        if data.inner is None or is_quarantined(name):
+            return None
+        try:
+            out = (
+                self.inner.apply_multi(data.inner, x)
+                if multi
+                else self.inner.apply(data.inner, x)
+            )
+        except Exception as exc:
+            record_kernel_failure(
+                name, f"apply raised {type(exc).__name__}: {exc}"
+            )
+            return None
+        expected = (
+            (data.csr.nrows, np.asarray(x).shape[1])
+            if multi
+            else (data.csr.nrows,)
+        )
+        if not isinstance(out, np.ndarray) or out.shape != expected:
+            got = getattr(out, "shape", type(out).__name__)
+            record_kernel_failure(
+                name, f"apply returned shape {got}, expected {expected}"
+            )
+            return None
+        if (
+            data.values_finite
+            and bool(np.isfinite(x).all())
+            and not bool(np.isfinite(out).all())
+        ):
+            record_kernel_failure(
+                name, "apply produced non-finite output from finite input"
+            )
+            return None
+        return out
+
+    # -- cost plane & scheduling --------------------------------------
+
+    def cost(self, data: GuardedData, machine: MachineSpec,
+             partition: Partition) -> KernelCost:
+        if data.inner is None or is_quarantined(self.inner.name):
+            from ..kernels.variants import baseline_kernel
+
+            base = baseline_kernel()
+            return base.cost(base.preprocess(data.csr), machine, partition)
+        return self.inner.cost(data.inner, machine, partition)
+
+    def partition(self, data: GuardedData, nthreads: int) -> Partition:
+        if data.inner is None or is_quarantined(self.inner.name):
+            return make_partition(data.csr, nthreads, "balanced-nnz")
+        return self.inner.partition(data.inner, nthreads)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<GuardedKernel {self.inner!r}>"

@@ -12,10 +12,17 @@ from .preprocess_cost import (
 )
 from .registry import (
     POOL_CONFIGS,
+    QUARANTINE_THRESHOLD,
+    clear_quarantine,
+    is_quarantined,
+    kernel_failure_count,
+    kernel_failure_log,
     merged_pool_kernel,
     pairwise_optimization_kernels,
     pool_kernel,
     pool_names,
+    quarantined_kernel_names,
+    record_kernel_failure,
     register_pool_optimization,
     registered_pool_names,
     single_optimization_kernels,
@@ -47,6 +54,13 @@ __all__ = [
     "register_pool_optimization",
     "registered_pool_names",
     "merged_pool_kernel",
+    "QUARANTINE_THRESHOLD",
+    "record_kernel_failure",
+    "kernel_failure_count",
+    "kernel_failure_log",
+    "is_quarantined",
+    "quarantined_kernel_names",
+    "clear_quarantine",
     "single_optimization_kernels",
     "pairwise_optimization_kernels",
     "JIT_CODEGEN_SECONDS",

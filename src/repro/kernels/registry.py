@@ -17,6 +17,7 @@ unrolling       inner-loop unrolling + vectorization (CMP)
 
 from __future__ import annotations
 
+import threading
 from itertools import combinations
 
 from .variants import ConfiguredSpMV, SpMVConfig, baseline_kernel
@@ -30,6 +31,13 @@ __all__ = [
     "single_optimization_kernels",
     "pairwise_optimization_kernels",
     "merged_pool_kernel",
+    "QUARANTINE_THRESHOLD",
+    "record_kernel_failure",
+    "kernel_failure_count",
+    "kernel_failure_log",
+    "is_quarantined",
+    "quarantined_kernel_names",
+    "clear_quarantine",
 ]
 
 POOL_CONFIGS: dict[str, SpMVConfig] = {
@@ -132,3 +140,61 @@ def pairwise_optimization_kernels() -> dict[str, ConfiguredSpMV]:
     for a, b in combinations(POOL_CONFIGS, 2):
         out[f"{a}+{b}"] = merged_pool_kernel((a, b))
     return out
+
+
+# -- kernel quarantine (per-variant failure accounting) ----------------
+#
+# The guarded execution layer (repro.guard.guarded) records every
+# runtime fault of a kernel variant here, keyed by the variant's
+# ``name``. Once a variant accumulates QUARANTINE_THRESHOLD failures it
+# is *quarantined*: guarded wrappers stop calling it (falling back to
+# the reference CSR kernel) and AdaptiveSpMV refuses to plan it.
+
+QUARANTINE_THRESHOLD = 1
+
+_quarantine_lock = threading.Lock()
+_kernel_failures: dict[str, list[str]] = {}
+
+
+def record_kernel_failure(name: str, reason: str) -> int:
+    """Record one runtime fault of variant ``name``; returns its new
+    failure count."""
+    with _quarantine_lock:
+        log = _kernel_failures.setdefault(str(name), [])
+        log.append(str(reason))
+        return len(log)
+
+
+def kernel_failure_count(name: str) -> int:
+    with _quarantine_lock:
+        return len(_kernel_failures.get(str(name), ()))
+
+
+def kernel_failure_log(name: str) -> tuple[str, ...]:
+    """The recorded failure reasons of variant ``name`` (oldest first)."""
+    with _quarantine_lock:
+        return tuple(_kernel_failures.get(str(name), ()))
+
+
+def is_quarantined(name: str, threshold: int | None = None) -> bool:
+    limit = QUARANTINE_THRESHOLD if threshold is None else int(threshold)
+    return kernel_failure_count(name) >= max(limit, 1)
+
+
+def quarantined_kernel_names(threshold: int | None = None) -> tuple[str, ...]:
+    limit = QUARANTINE_THRESHOLD if threshold is None else int(threshold)
+    limit = max(limit, 1)
+    with _quarantine_lock:
+        return tuple(
+            name for name, log in _kernel_failures.items()
+            if len(log) >= limit
+        )
+
+
+def clear_quarantine(name: str | None = None) -> None:
+    """Forget recorded failures (all variants, or just ``name``)."""
+    with _quarantine_lock:
+        if name is None:
+            _kernel_failures.clear()
+        else:
+            _kernel_failures.pop(str(name), None)

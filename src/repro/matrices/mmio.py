@@ -5,6 +5,11 @@ SuiteSparse collection that the paper draws its matrices from:
 ``matrix coordinate {real,integer,pattern} {general,symmetric}``.
 Symmetric matrices are expanded to general on read (off-diagonal
 entries mirrored), matching how SpMV benchmarks consume them.
+
+The reader parses entry lines itself (no ``np.loadtxt``) so malformed
+or out-of-range entries are reported with their 1-based line number,
+and blank lines between entries are tolerated (files hand-edited or
+concatenated in the wild often have them).
 """
 
 from __future__ import annotations
@@ -14,13 +19,18 @@ from pathlib import Path
 
 import numpy as np
 
+from ..errors import ReproError
 from ..formats import COOMatrix, CSRMatrix
 
 __all__ = ["read_matrix_market", "write_matrix_market", "MatrixMarketError"]
 
 
-class MatrixMarketError(ValueError):
-    """Raised on malformed Matrix Market input."""
+class MatrixMarketError(ReproError, ValueError):
+    """Raised on malformed Matrix Market input.
+
+    Errors attributable to a specific input line carry its 1-based
+    number in the message (``"line N: ..."``).
+    """
 
 
 _FIELDS = {"real", "integer", "pattern"}
@@ -38,12 +48,15 @@ def read_matrix_market(source) -> CSRMatrix:
 
 
 def _read(fh) -> CSRMatrix:
+    lineno = 1
     header = fh.readline()
     if not header.startswith("%%MatrixMarket"):
-        raise MatrixMarketError("missing %%MatrixMarket header")
+        raise MatrixMarketError("line 1: missing %%MatrixMarket header")
     parts = header.strip().split()
     if len(parts) != 5:
-        raise MatrixMarketError(f"malformed header: {header.strip()!r}")
+        raise MatrixMarketError(
+            f"line 1: malformed header: {header.strip()!r}"
+        )
     _, obj, fmt, field, symmetry = (p.lower() for p in parts)
     if obj != "matrix" or fmt != "coordinate":
         raise MatrixMarketError(
@@ -54,37 +67,71 @@ def _read(fh) -> CSRMatrix:
     if symmetry not in _SYMMETRIES:
         raise MatrixMarketError(f"unsupported symmetry {symmetry!r}")
 
-    # Skip comments, read the size line.
+    # Skip comments and blank lines, read the size line.
     line = fh.readline()
-    while line.startswith("%"):
+    lineno += 1
+    while line and (line.startswith("%") or not line.strip()):
         line = fh.readline()
+        lineno += 1
     try:
         nrows, ncols, nnz = (int(tok) for tok in line.split())
     except Exception as exc:
-        raise MatrixMarketError(f"malformed size line: {line!r}") from exc
+        raise MatrixMarketError(
+            f"line {lineno}: malformed size line: {line.strip()!r}"
+        ) from exc
 
-    body = np.loadtxt(fh, ndmin=2) if nnz else np.zeros((0, 3))
-    if body.shape[0] != nnz:
-        raise MatrixMarketError(
-            f"expected {nnz} entries, found {body.shape[0]}"
-        )
-    expected_cols = 2 if field == "pattern" else 3
-    if nnz and body.shape[1] != expected_cols:
-        raise MatrixMarketError(
-            f"expected {expected_cols} columns per entry, got {body.shape[1]}"
-        )
-    rows = body[:, 0].astype(np.int64) - 1
-    cols = body[:, 1].astype(np.int64) - 1
-    if field == "pattern":
-        values = np.ones(nnz, dtype=np.float64)
-    else:
-        values = body[:, 2].astype(np.float64)
+    expected_toks = 2 if field == "pattern" else 3
+    rows = np.empty(nnz, dtype=np.int64)
+    cols = np.empty(nnz, dtype=np.int64)
+    values = np.ones(nnz, dtype=np.float64)
+    k = 0
+    for line in fh:
+        lineno += 1
+        stripped = line.strip()
+        if not stripped or stripped.startswith("%"):
+            continue  # tolerate blank lines / trailing comments
+        if k >= nnz:
+            raise MatrixMarketError(
+                f"line {lineno}: more than the declared {nnz} entries"
+            )
+        toks = stripped.split()
+        if len(toks) != expected_toks:
+            raise MatrixMarketError(
+                f"line {lineno}: expected {expected_toks} tokens per "
+                f"entry, got {len(toks)}: {stripped!r}"
+            )
+        try:
+            r = int(toks[0])
+            c = int(toks[1])
+            v = float(toks[2]) if field != "pattern" else 1.0
+        except ValueError as exc:
+            raise MatrixMarketError(
+                f"line {lineno}: malformed entry: {stripped!r}"
+            ) from exc
+        if not (1 <= r <= nrows):
+            raise MatrixMarketError(
+                f"line {lineno}: row index {r} out of range "
+                f"[1, {nrows}]"
+            )
+        if not (1 <= c <= ncols):
+            raise MatrixMarketError(
+                f"line {lineno}: column index {c} out of range "
+                f"[1, {ncols}]"
+            )
+        rows[k] = r - 1
+        cols[k] = c - 1
+        values[k] = v
+        k += 1
+    if k != nnz:
+        raise MatrixMarketError(f"expected {nnz} entries, found {k}")
 
     if symmetry in ("symmetric", "skew-symmetric"):
         off = rows != cols
         sign = -1.0 if symmetry == "skew-symmetric" else 1.0
-        rows = np.concatenate([rows, cols[off]])
-        cols = np.concatenate([cols, body[:, 0].astype(np.int64)[off] - 1])
+        rows, cols = (
+            np.concatenate([rows, cols[off]]),
+            np.concatenate([cols, rows[off]]),
+        )
         values = np.concatenate([values, sign * values[off]])
 
     return CSRMatrix.from_coo(COOMatrix(rows, cols, values, (nrows, ncols)))

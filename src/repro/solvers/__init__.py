@@ -3,6 +3,7 @@ lightweight SpMV autotuning."""
 
 from .base import (
     SolveResult,
+    SolverReport,
     as_matmat,
     as_matvec,
     columnwise,
@@ -17,6 +18,7 @@ from .precond import jacobi_preconditioner, ssor_preconditioner_diag
 
 __all__ = [
     "SolveResult",
+    "SolverReport",
     "as_matvec",
     "as_matmat",
     "columnwise",

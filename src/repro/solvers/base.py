@@ -21,11 +21,35 @@ import numpy as np
 
 __all__ = [
     "SolveResult",
+    "SolverReport",
     "as_matvec",
     "as_matmat",
     "columnwise",
     "identity_preconditioner",
 ]
+
+
+@dataclass(frozen=True)
+class SolverReport:
+    """Structured breakdown diagnostics attached to a solve.
+
+    ``breakdown`` is true when the final sweep ended in a numerical
+    breakdown (non-finite residual, indefinite operator, rho/omega
+    collapse, ...) rather than plain non-convergence; ``reason`` names
+    the last breakdown observed and ``restarts`` counts the recovery
+    restarts that were attempted. A breakdown result still carries the
+    last *finite* iterate in ``SolveResult.x`` — never NaN garbage.
+    """
+
+    breakdown: bool = False
+    reason: str | None = None
+    restarts: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if not self.breakdown and self.reason is None:
+            return "ok"
+        state = "breakdown" if self.breakdown else "recovered"
+        return f"{state}({self.reason}, restarts={self.restarts})"
 
 
 @dataclass(frozen=True)
@@ -37,12 +61,46 @@ class SolveResult:
     iterations: int
     residual_norm: float
     residual_history: np.ndarray = field(repr=False, default=None)
+    report: SolverReport = field(default_factory=SolverReport)
+
+    @property
+    def breakdown(self) -> bool:
+        """Did the solve end in a numerical breakdown? (see
+        :class:`SolverReport`)"""
+        return self.report.breakdown
 
     @property
     def spmv_count(self) -> int:
         """SpMV invocations performed (== iterations for CG/GMRES,
         2x for BiCGSTAB)."""
         return self.iterations
+
+
+def finite_residual(history) -> float:
+    """The most recent finite residual norm in ``history`` (``inf`` if
+    none) — breakdown results must not report NaN norms."""
+    for h in reversed(history):
+        if np.isfinite(h):
+            return float(h)
+    return float("inf")
+
+
+def make_report(reasons, restarts: int = 0,
+                converged: bool = False) -> SolverReport:
+    """Build a :class:`SolverReport` from the breakdown reasons seen.
+
+    ``reasons`` is an ordered sequence (later entries are more recent);
+    a solve that ultimately converged reports ``breakdown=False`` even
+    if a restart recovered from an earlier breakdown (the reason is
+    kept as a diagnostic).
+    """
+    reasons = [r for r in reasons if r]
+    reason = reasons[-1] if reasons else None
+    return SolverReport(
+        breakdown=bool(reasons) and not converged,
+        reason=reason,
+        restarts=restarts,
+    )
 
 
 def as_matvec(operator) -> Callable[[np.ndarray], np.ndarray]:

@@ -13,7 +13,9 @@ from .base import (
     as_matmat,
     as_matvec,
     columnwise,
+    finite_residual,
     identity_preconditioner,
+    make_report,
 )
 
 __all__ = ["bicgstab"]
@@ -32,6 +34,12 @@ def bicgstab(
 
     A 2-D ``b`` of shape ``(n, k)`` solves all ``k`` systems at once
     with two batched ``matmat`` applications per iteration.
+
+    Breakdowns (``rho``/``omega`` collapse, zero ``r_hat @ v``, a
+    non-finite residual) trigger one restart from the last finite
+    iterate; if the restart breaks down too, the result carries
+    ``report.breakdown=True`` with the reason — and ``x`` stays the
+    last finite iterate, never NaN garbage.
     """
     b = np.asarray(b, dtype=np.float64)
     if maxiter < 1:
@@ -46,55 +54,86 @@ def bicgstab(
         if x0 is None
         else np.array(x0, dtype=np.float64, copy=True)
     )
-    r = b - matvec(x) if x.any() else b.copy()
-    r_hat = r.copy()
-    rho = alpha = omega = 1.0
-    v = np.zeros_like(b)
-    p = np.zeros_like(b)
     bnorm = float(np.linalg.norm(b)) or 1.0
-    history = [float(np.linalg.norm(r))]
+    history: list[float] = []
 
-    for k in range(1, maxiter + 1):
-        rho_new = float(r_hat @ r)
-        if rho_new == 0.0 or omega == 0.0:
-            break  # breakdown
-        beta = (rho_new / rho) * (alpha / omega)
-        rho = rho_new
-        p = r + beta * (p - omega * v)
-        phat = M(p)
-        v = matvec(phat)
-        denom = float(r_hat @ v)
-        if denom == 0.0:
-            break
-        alpha = rho / denom
-        s = r - alpha * v
-        snorm = float(np.linalg.norm(s))
-        if snorm <= tol * bnorm:
-            x += alpha * phat
-            history.append(snorm)
-            return SolveResult(
-                x=x, converged=True, iterations=k, residual_norm=snorm,
-                residual_history=np.array(history),
-            )
-        shat = M(s)
-        t = matvec(shat)
-        tt = float(t @ t)
-        if tt == 0.0:
-            break
-        omega = float(t @ s) / tt
-        x += alpha * phat + omega * shat
-        r = s - omega * t
+    def sweep(x, budget):
+        """One BiCGSTAB sweep; returns (x, converged, iters, reason)."""
+        r = b - matvec(x) if x.any() else b.copy()
         rnorm = float(np.linalg.norm(r))
         history.append(rnorm)
+        if not np.isfinite(rnorm):
+            return x, False, 0, "non-finite-residual"
         if rnorm <= tol * bnorm:
-            return SolveResult(
-                x=x, converged=True, iterations=k, residual_norm=rnorm,
-                residual_history=np.array(history),
-            )
+            return x, True, 0, None
+        r_hat = r.copy()
+        rho = alpha = omega = 1.0
+        v = np.zeros_like(b)
+        p = np.zeros_like(b)
+        for k in range(1, budget + 1):
+            rho_new = float(r_hat @ r)
+            if not np.isfinite(rho_new):
+                return x, False, k - 1, "non-finite-residual"
+            if rho_new == 0.0:
+                return x, False, k - 1, "rho-breakdown"
+            if omega == 0.0:
+                return x, False, k - 1, "omega-breakdown"
+            beta = (rho_new / rho) * (alpha / omega)
+            rho = rho_new
+            p = r + beta * (p - omega * v)
+            phat = M(p)
+            v = matvec(phat)
+            denom = float(r_hat @ v)
+            if not np.isfinite(denom):
+                return x, False, k - 1, "non-finite-residual"
+            if denom == 0.0:
+                return x, False, k - 1, "rhat-v-breakdown"
+            alpha = rho / denom
+            s = r - alpha * v
+            snorm = float(np.linalg.norm(s))
+            if not np.isfinite(snorm):
+                return x, False, k - 1, "non-finite-residual"
+            if snorm <= tol * bnorm:
+                x = x + alpha * phat
+                history.append(snorm)
+                return x, True, k, None
+            shat = M(s)
+            t = matvec(shat)
+            tt = float(t @ t)
+            if not np.isfinite(tt):
+                return x, False, k - 1, "non-finite-residual"
+            if tt == 0.0:
+                return x, False, k - 1, "omega-breakdown"
+            omega = float(t @ s) / tt
+            x = x + alpha * phat + omega * shat
+            r = s - omega * t
+            rnorm = float(np.linalg.norm(r))
+            history.append(rnorm)
+            if not np.isfinite(rnorm):
+                return x, False, k, "non-finite-residual"
+            if rnorm <= tol * bnorm:
+                return x, True, k, None
+        return x, False, budget, None
+
+    x1, converged, used, reason = sweep(x, maxiter)
+    reasons = [reason]
+    restarts = 0
+    if reason is not None and used < maxiter:
+        # One recovery attempt from the last finite iterate.
+        restarts = 1
+        if not np.isfinite(x1).all():
+            x1 = x if np.isfinite(x).all() else np.zeros_like(b)
+        x1, converged, used2, reason2 = sweep(x1, maxiter - used)
+        used += used2
+        reasons.append(reason2)
+    if not np.isfinite(x1).all():
+        x1 = x if np.isfinite(x).all() else np.zeros_like(b)
 
     return SolveResult(
-        x=x, converged=False, iterations=len(history) - 1,
-        residual_norm=history[-1], residual_history=np.array(history),
+        x=x1, converged=converged, iterations=used,
+        residual_norm=finite_residual(history),
+        residual_history=np.array(history),
+        report=make_report(reasons, restarts, converged),
     )
 
 
@@ -105,7 +144,9 @@ def _block_bicgstab(A, B, X0, *, tol, maxiter, preconditioner) -> SolveResult:
     broken-down columns are frozen (zero step, zeroed direction) while
     the active ones share the two batched ``matmat`` calls per step.
     The mid-step early exit (``||s||`` small) freezes the column after
-    the half-update, exactly like the scalar code path.
+    the half-update, exactly like the scalar code path. Columns whose
+    recurrences go non-finite are frozen at their last finite iterate
+    and the aggregate breakdown is reported in ``report``.
     """
     matmat = as_matmat(A)
     M = columnwise(preconditioner or identity_preconditioner)
@@ -129,12 +170,22 @@ def _block_bicgstab(A, B, X0, *, tol, maxiter, preconditioner) -> SolveResult:
     converged = rnorm <= tol * bnorm
     active = ~converged
     iterations = 0
+    reasons: list[str] = []
+
+    def drop(mask, reason):
+        """Freeze ``mask`` columns, recording why."""
+        nonlocal active
+        if mask.any():
+            reasons.append(reason)
+            active = active & ~mask
 
     for it in range(1, maxiter + 1):
         if not active.any():
             break
         rho_new = np.einsum("ij,ij->j", R_hat, R)
-        active = active & (rho_new != 0.0) & (omega != 0.0)
+        drop(active & ~np.isfinite(rho_new), "non-finite-residual")
+        drop(active & (rho_new == 0.0), "rho-breakdown")
+        drop(active & (omega == 0.0), "omega-breakdown")
         if not active.any():
             break
         beta = np.where(
@@ -149,21 +200,29 @@ def _block_bicgstab(A, B, X0, *, tol, maxiter, preconditioner) -> SolveResult:
         Phat = M(P)
         V = matmat(Phat)
         denom = np.einsum("ij,ij->j", R_hat, V)
-        active = active & (denom != 0.0)
+        drop(active & ~np.isfinite(denom), "non-finite-residual")
+        drop(active & np.isfinite(denom) & (denom == 0.0),
+             "rhat-v-breakdown")
+        # Zero frozen columns so 0 * NaN cannot leak into X/R below.
+        V[:, ~active] = 0.0
         alpha = np.where(
             active, rho / np.where(denom != 0.0, denom, 1.0), 0.0
         )
         S = R - alpha * V
         snorm = np.linalg.norm(S, axis=0)
+        drop(active & ~np.isfinite(snorm), "non-finite-residual")
         # Mid-step convergence: take the half update and freeze.
         half = active & (snorm <= tol * bnorm)
         X += np.where(half, alpha, 0.0) * Phat
         converged = converged | half
         active = active & ~half
+        S[:, ~active] = 0.0
         Shat = M(S)
         T = matmat(Shat)
         tt = np.einsum("ij,ij->j", T, T)
-        active = active & (tt != 0.0)
+        drop(active & ~np.isfinite(tt), "non-finite-residual")
+        drop(active & np.isfinite(tt) & (tt == 0.0), "omega-breakdown")
+        T[:, ~active] = 0.0
         omega = np.where(
             active,
             np.einsum("ij,ij->j", T, S) / np.where(tt != 0.0, tt, 1.0),
@@ -174,6 +233,7 @@ def _block_bicgstab(A, B, X0, *, tol, maxiter, preconditioner) -> SolveResult:
         R = np.where(active, S - omega * T, R)
         rnorm = np.where(active, np.linalg.norm(R, axis=0), history[-1])
         rnorm = np.where(half, snorm, rnorm)
+        drop(active & ~np.isfinite(rnorm), "non-finite-residual")
         history.append(rnorm.copy())
         iterations = it
         newly = active & (rnorm <= tol * bnorm)
@@ -181,8 +241,11 @@ def _block_bicgstab(A, B, X0, *, tol, maxiter, preconditioner) -> SolveResult:
         active = active & ~newly
 
     final = history[-1]
+    final = final[np.isfinite(final)]
+    all_converged = bool(converged.all())
     return SolveResult(
-        x=X, converged=bool(converged.all()), iterations=iterations,
+        x=X, converged=all_converged, iterations=iterations,
         residual_norm=float(final.max(initial=0.0)),
         residual_history=np.array(history),
+        report=make_report(reasons, 0, all_converged),
     )

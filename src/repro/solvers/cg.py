@@ -13,7 +13,9 @@ from .base import (
     as_matmat,
     as_matvec,
     columnwise,
+    finite_residual,
     identity_preconditioner,
+    make_report,
 )
 
 __all__ = ["cg"]
@@ -36,6 +38,11 @@ def cg(
     simultaneously through the operator's batched ``matmat`` plane
     (one SpMM per iteration instead of ``k`` SpMVs); the result's
     ``x`` / ``residual_history`` are then column-blocked too.
+
+    Breakdowns (indefinite operator, non-finite residual) trigger one
+    restart from the last finite iterate; if the restart breaks down
+    too, the result carries ``report.breakdown=True`` with the reason —
+    and ``x`` stays the last finite iterate, never NaN garbage.
     """
     b = np.asarray(b, dtype=np.float64)
     if maxiter < 1:
@@ -50,42 +57,64 @@ def cg(
         if x0 is None
         else np.array(x0, dtype=np.float64, copy=True)
     )
-    r = b - matvec(x) if x.any() else b.copy()
-    z = M(r)
-    p = z.copy()
-    rz = float(r @ z)
     bnorm = float(np.linalg.norm(b)) or 1.0
-    history = [float(np.linalg.norm(r))]
+    history: list[float] = []
 
-    for k in range(1, maxiter + 1):
-        Ap = matvec(p)
-        pAp = float(p @ Ap)
-        if pAp <= 0:
-            # Not SPD (or breakdown): stop with what we have.
-            return SolveResult(
-                x=x, converged=False, iterations=k - 1,
-                residual_norm=history[-1],
-                residual_history=np.array(history),
-            )
-        alpha = rz / pAp
-        x += alpha * p
-        r -= alpha * Ap
+    def sweep(x, budget):
+        """One CG sweep; returns (x, converged, iterations, reason)."""
+        r = b - matvec(x) if x.any() else b.copy()
         rnorm = float(np.linalg.norm(r))
         history.append(rnorm)
+        if not np.isfinite(rnorm):
+            return x, False, 0, "non-finite-residual"
         if rnorm <= tol * bnorm:
-            return SolveResult(
-                x=x, converged=True, iterations=k, residual_norm=rnorm,
-                residual_history=np.array(history),
-            )
+            return x, True, 0, None
         z = M(r)
-        rz_new = float(r @ z)
-        beta = rz_new / rz
-        rz = rz_new
-        p = z + beta * p
+        p = z.copy()
+        rz = float(r @ z)
+        for k in range(1, budget + 1):
+            Ap = matvec(p)
+            pAp = float(p @ Ap)
+            if not np.isfinite(pAp):
+                return x, False, k - 1, "non-finite-residual"
+            if pAp <= 0:
+                # Not SPD (or breakdown): stop with what we have.
+                return x, False, k - 1, "indefinite-operator"
+            alpha = rz / pAp
+            x = x + alpha * p
+            r = r - alpha * Ap
+            rnorm = float(np.linalg.norm(r))
+            history.append(rnorm)
+            if not np.isfinite(rnorm):
+                return x, False, k, "non-finite-residual"
+            if rnorm <= tol * bnorm:
+                return x, True, k, None
+            z = M(r)
+            rz_new = float(r @ z)
+            beta = rz_new / rz
+            rz = rz_new
+            p = z + beta * p
+        return x, False, budget, None
+
+    x1, converged, used, reason = sweep(x, maxiter)
+    reasons = [reason]
+    restarts = 0
+    if reason is not None and used < maxiter:
+        # One recovery attempt from the last finite iterate.
+        restarts = 1
+        if not np.isfinite(x1).all():
+            x1 = x if np.isfinite(x).all() else np.zeros_like(b)
+        x1, converged, used2, reason2 = sweep(x1, maxiter - used)
+        used += used2
+        reasons.append(reason2)
+    if not np.isfinite(x1).all():
+        x1 = x if np.isfinite(x).all() else np.zeros_like(b)
 
     return SolveResult(
-        x=x, converged=False, iterations=maxiter,
-        residual_norm=history[-1], residual_history=np.array(history),
+        x=x1, converged=converged, iterations=used,
+        residual_norm=finite_residual(history),
+        residual_history=np.array(history),
+        report=make_report(reasons, restarts, converged),
     )
 
 
@@ -93,9 +122,11 @@ def _block_cg(A, B, X0, *, tol, maxiter, preconditioner) -> SolveResult:
     """Multi-RHS CG: the scalar recurrences become per-column arrays.
 
     Each column follows exactly the single-RHS iteration; columns that
-    converge (or break down on a non-SPD direction) are frozen via a
-    zero step length and a zeroed search direction, so the remaining
-    active columns keep iterating with one batched ``matmat`` per step.
+    converge (or break down on a non-SPD direction or a non-finite
+    residual) are frozen via a zero step length and a zeroed search
+    direction, so the remaining active columns keep iterating with one
+    batched ``matmat`` per step. Broken columns keep their last finite
+    iterate and the aggregate breakdown is reported in ``report``.
     """
     matmat = as_matmat(A)
     M = columnwise(preconditioner or identity_preconditioner)
@@ -116,20 +147,33 @@ def _block_cg(A, B, X0, *, tol, maxiter, preconditioner) -> SolveResult:
     converged = rnorm <= tol * bnorm
     active = ~converged
     iterations = 0
+    reasons: list[str] = []
 
     for it in range(1, maxiter + 1):
         if not active.any():
             break
         AP = matmat(P)
         pAp = np.einsum("ij,ij->j", P, AP)
-        # Non-SPD / breakdown columns stop with what they have.
-        broken = active & (pAp <= 0.0)
-        active = active & ~broken
-        safe = np.where(pAp != 0.0, pAp, 1.0)
+        # Non-finite and non-SPD columns stop with what they have.
+        nonfinite = active & ~np.isfinite(pAp)
+        indefinite = active & np.isfinite(pAp) & (pAp <= 0.0)
+        if nonfinite.any():
+            reasons.append("non-finite-residual")
+        if indefinite.any():
+            reasons.append("indefinite-operator")
+        active = active & ~nonfinite & ~indefinite
+        # Poisoned AP columns are zeroed so frozen columns cannot leak
+        # NaN into X/R through a 0 * NaN product.
+        AP[:, nonfinite] = 0.0
+        safe = np.where(np.isfinite(pAp) & (pAp != 0.0), pAp, 1.0)
         alpha = np.where(active, rz / safe, 0.0)
         X += alpha * P
         R -= alpha * AP
         rnorm = np.linalg.norm(R, axis=0)
+        stray = active & ~np.isfinite(rnorm)
+        if stray.any():
+            reasons.append("non-finite-residual")
+            active = active & ~stray
         history.append(rnorm.copy())
         iterations = it
         newly = active & (rnorm <= tol * bnorm)
@@ -146,8 +190,11 @@ def _block_cg(A, B, X0, *, tol, maxiter, preconditioner) -> SolveResult:
         P[:, ~active] = 0.0
 
     final = history[-1]
+    final = final[np.isfinite(final)]
+    all_converged = bool(converged.all())
     return SolveResult(
-        x=X, converged=bool(converged.all()), iterations=iterations,
+        x=X, converged=all_converged, iterations=iterations,
         residual_norm=float(final.max(initial=0.0)),
         residual_history=np.array(history),
+        report=make_report(reasons, 0, all_converged),
     )

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import SolveResult
+from .base import SolveResult, finite_residual, make_report
 
 __all__ = ["cgnr"]
 
@@ -28,6 +28,11 @@ def cgnr(
 
     Convergence criterion: ``||A^T r||_2 <= tol * ||A^T b||_2`` (the
     normal-equation residual, the quantity CGNR actually drives down).
+
+    Breakdowns (zero search direction, non-finite residual) trigger one
+    restart from the last finite iterate; if that breaks down too, the
+    result carries ``report.breakdown=True`` with the reason — and
+    ``x`` stays the last finite iterate, never NaN garbage.
     """
     if not (hasattr(A, "matvec") and hasattr(A, "rmatvec")):
         raise TypeError("A must provide matvec and rmatvec")
@@ -42,35 +47,59 @@ def cgnr(
         if x0 is None
         else np.array(x0, dtype=np.float64, copy=True)
     )
+    z0n = float(np.linalg.norm(A.rmatvec(b)))
+    z0 = z0n if np.isfinite(z0n) and z0n > 0.0 else 1.0
+    history: list[float] = []
 
-    r = b - A.matvec(x) if x.any() else b.copy()
-    z = A.rmatvec(r)                  # normal-equation residual
-    p = z.copy()
-    zz = float(z @ z)
-    z0 = float(np.linalg.norm(A.rmatvec(b))) or 1.0
-    history = [float(np.sqrt(zz))]
-
-    for k in range(1, maxiter + 1):
-        w = A.matvec(p)
-        ww = float(w @ w)
-        if ww == 0.0:
-            break
-        alpha = zz / ww
-        x += alpha * p
-        r -= alpha * w
-        z = A.rmatvec(r)
-        zz_new = float(z @ z)
-        history.append(float(np.sqrt(zz_new)))
+    def sweep(x, budget):
+        """One CGNR sweep; returns (x, converged, iterations, reason)."""
+        r = b - A.matvec(x) if x.any() else b.copy()
+        z = A.rmatvec(r)              # normal-equation residual
+        zz = float(z @ z)
+        history.append(float(np.sqrt(abs(zz))))
+        if not np.isfinite(zz):
+            return x, False, 0, "non-finite-residual"
         if history[-1] <= tol * z0:
-            return SolveResult(
-                x=x, converged=True, iterations=k,
-                residual_norm=history[-1],
-                residual_history=np.array(history),
-            )
-        p = z + (zz_new / zz) * p
-        zz = zz_new
+            return x, True, 0, None
+        p = z.copy()
+        for k in range(1, budget + 1):
+            w = A.matvec(p)
+            ww = float(w @ w)
+            if not np.isfinite(ww):
+                return x, False, k - 1, "non-finite-residual"
+            if ww == 0.0:
+                return x, False, k - 1, "zero-direction"
+            alpha = zz / ww
+            x = x + alpha * p
+            r = r - alpha * w
+            z = A.rmatvec(r)
+            zz_new = float(z @ z)
+            history.append(float(np.sqrt(abs(zz_new))))
+            if not np.isfinite(zz_new):
+                return x, False, k, "non-finite-residual"
+            if history[-1] <= tol * z0:
+                return x, True, k, None
+            p = z + (zz_new / zz) * p
+            zz = zz_new
+        return x, False, budget, None
+
+    x1, converged, used, reason = sweep(x, maxiter)
+    reasons = [reason]
+    restarts = 0
+    if reason is not None and used < maxiter:
+        # One recovery attempt from the last finite iterate.
+        restarts = 1
+        if not np.isfinite(x1).all():
+            x1 = x if np.isfinite(x).all() else np.zeros(ncols)
+        x1, converged, used2, reason2 = sweep(x1, maxiter - used)
+        used += used2
+        reasons.append(reason2)
+    if not np.isfinite(x1).all():
+        x1 = x if np.isfinite(x).all() else np.zeros(ncols)
 
     return SolveResult(
-        x=x, converged=False, iterations=min(maxiter, len(history) - 1),
-        residual_norm=history[-1], residual_history=np.array(history),
+        x=x1, converged=converged, iterations=used,
+        residual_norm=finite_residual(history),
+        residual_history=np.array(history),
+        report=make_report(reasons, restarts, converged),
     )

@@ -9,7 +9,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import SolveResult, as_matvec, identity_preconditioner
+from .base import (
+    SolveResult,
+    as_matvec,
+    finite_residual,
+    identity_preconditioner,
+    make_report,
+)
 
 __all__ = ["gmres"]
 
@@ -58,6 +64,11 @@ def gmres(
                 (r.residual_norm for r in results), default=0.0
             ),
             residual_history=None,
+            report=make_report(
+                [r.report.reason for r in results],
+                sum(r.report.restarts for r in results),
+                all(r.converged for r in results),
+            ),
         )
     matvec = as_matvec(A)
     M = preconditioner or identity_preconditioner
@@ -68,18 +79,35 @@ def gmres(
         else np.array(x0, dtype=np.float64, copy=True)
     )
     bnorm = float(np.linalg.norm(M(b))) or 1.0
+    if not np.isfinite(bnorm):
+        bnorm = 1.0
     history: list[float] = []
     total_iters = 0
+    # Breakdown bookkeeping: x_ref is the last finite iterate; one
+    # recovery restart is attempted before reporting the breakdown.
+    x_ref = x.copy()
+    reason: str | None = None
+    recoveries = 0
 
     while total_iters < maxiter:
         r = M(b - matvec(x))
         beta = float(np.linalg.norm(r))
+        if not np.isfinite(beta):
+            if not np.isfinite(x).all():
+                x = x_ref.copy()
+            if recoveries >= 1:
+                reason = "non-finite-residual"
+                break
+            recoveries += 1
+            continue  # retry once from the last finite iterate
+        x_ref = x.copy()
         if not history:
             history.append(beta)
         if beta <= tol * bnorm:
             return SolveResult(
                 x=x, converged=True, iterations=total_iters,
                 residual_norm=beta, residual_history=np.array(history),
+                report=make_report([], recoveries, True),
             )
         m = min(restart, maxiter - total_iters)
         Q = np.zeros((m + 1, n))
@@ -91,6 +119,7 @@ def gmres(
         Q[0] = r / beta
 
         k_done = 0
+        arnoldi_broke = False
         for k in range(m):
             w = M(matvec(Q[k]))
             # Modified Gram-Schmidt
@@ -98,6 +127,11 @@ def gmres(
                 H[i, k] = float(w @ Q[i])
                 w -= H[i, k] * Q[i]
             H[k + 1, k] = float(np.linalg.norm(w))
+            if not np.isfinite(H[k + 1, k]):
+                # Non-finite Arnoldi vector: discard this column and
+                # fall through to the (finite) partial update below.
+                arnoldi_broke = True
+                break
             if H[k + 1, k] > 1e-14:
                 Q[k + 1] = w / H[k + 1, k]
             # Apply existing Givens rotations to the new column.
@@ -125,16 +159,35 @@ def gmres(
             H[:k_done, :k_done], g[:k_done]
         ) if k_done else np.zeros(0)
         x = x + Q[:k_done].T @ y
+        if np.isfinite(x).all():
+            x_ref = x.copy()
+        if arnoldi_broke:
+            if recoveries >= 1:
+                reason = "non-finite-residual"
+                break
+            recoveries += 1
+            x = x_ref.copy()
+            continue  # retry once from the last finite iterate
         if history[-1] <= tol * bnorm:
             final = float(np.linalg.norm(M(b - matvec(x))))
             return SolveResult(
                 x=x, converged=final <= tol * bnorm * 10.0,
                 iterations=total_iters, residual_norm=final,
                 residual_history=np.array(history),
+                report=make_report([], recoveries,
+                                   final <= tol * bnorm * 10.0),
             )
 
+    if not np.isfinite(x).all():
+        x = x_ref
     final = float(np.linalg.norm(M(b - matvec(x))))
+    if not np.isfinite(final):
+        reason = reason or "non-finite-residual"
+        final = finite_residual(history)
+    converged = final <= tol * bnorm and reason is None
     return SolveResult(
-        x=x, converged=final <= tol * bnorm, iterations=total_iters,
+        x=x, converged=converged, iterations=total_iters,
         residual_norm=final, residual_history=np.array(history),
+        report=make_report([reason] if reason else [], recoveries,
+                           converged),
     )

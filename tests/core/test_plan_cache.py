@@ -129,6 +129,65 @@ def test_cache_lru_eviction(rng):
     assert not op.plan.cache_hit
 
 
+def test_cache_eviction_counter_and_repr(rng):
+    cache = PlanCache(maxsize=2)
+    opt = AdaptiveSpMV(KNL, classifier="profile", plan_cache=cache)
+    for seed in range(4):
+        r = np.random.default_rng(seed)
+        rows = np.repeat(np.arange(20), 3)
+        cols = np.tile([1 + seed, 7 + seed, 13 + seed], 20)
+        opt.optimize(CSRMatrix.from_arrays(
+            rows, cols, r.standard_normal(60), (20, 30)
+        ))
+    assert cache.evictions == 2
+    assert "evictions=2" in repr(cache)
+    cache.clear()
+    assert cache.evictions == 0
+
+
+def test_cache_invalidate(small_random_csr):
+    opt = AdaptiveSpMV(KNL, classifier="profile")
+    opt.optimize(small_random_csr)
+    cache = opt.plan_cache
+    (key,) = cache._entries.keys()
+    assert cache.invalidate(key)
+    assert len(cache) == 0
+    assert cache.invalidations == 1
+    assert not cache.invalidate(key)  # already gone
+    assert cache.invalidations == 1
+
+
+def test_cache_is_thread_safe():
+    import threading
+
+    cache = PlanCache(maxsize=8)
+    errors = []
+
+    def hammer(tid):
+        try:
+            for i in range(300):
+                key = (tid % 3, i % 12)
+                entry = cache.get(key)
+                if entry is None:
+                    cache.store(key, object())
+                if i % 50 == 0:
+                    cache.invalidate(key)
+                len(cache)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=hammer, args=(t,)) for t in range(8)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(cache) <= 8
+    assert cache.hits + cache.misses == 8 * 300
+
+
 def test_cache_clear(small_random_csr):
     opt = AdaptiveSpMV(KNL, classifier="profile")
     opt.optimize(small_random_csr)

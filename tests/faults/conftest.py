@@ -1,0 +1,95 @@
+"""Fixtures for the fault-injection suite.
+
+Inside ``tests/faults`` every ``RuntimeWarning`` (invalid value,
+overflow, ...) is promoted to an error: the guard layer claims NaN/Inf
+never leak through arithmetic silently, and a stray warning is exactly
+such a leak. The promotion is scoped here (not in pyproject) so the
+rest of the suite keeps its normal warning behavior.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.formats import (
+    BCSRMatrix,
+    DecomposedCSR,
+    DeltaCSR,
+    SellCSigmaMatrix,
+)
+from repro.guard import clear_quarantine
+
+
+_HERE = __file__.rsplit("/", 1)[0]
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if str(item.fspath).startswith(_HERE):
+            item.add_marker(pytest.mark.faults)
+
+
+@pytest.fixture(autouse=True)
+def _runtime_warnings_are_errors():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", RuntimeWarning)
+        yield
+
+
+@pytest.fixture(autouse=True)
+def _clean_quarantine():
+    """Quarantine state is process-global; never leak it across tests."""
+    clear_quarantine()
+    yield
+    clear_quarantine()
+
+
+@pytest.fixture(
+    params=["csr", "coo", "bcsr", "sell-c-sigma", "delta-csr",
+            "decomposed-csr"]
+)
+def any_format(request, small_random_csr, skewed_csr):
+    """A small matrix in each of the six formats.
+
+    The decomposed variant is built from the skewed matrix so its long
+    (dense-row) part is non-trivial and all fault kinds apply.
+    """
+    csr = small_random_csr
+    if request.param == "csr":
+        return csr
+    if request.param == "coo":
+        return csr.to_coo()
+    if request.param == "bcsr":
+        return BCSRMatrix.from_csr(csr, block=2)
+    if request.param == "sell-c-sigma":
+        return SellCSigmaMatrix.from_csr(csr, chunk=8)
+    if request.param == "delta-csr":
+        return DeltaCSR.from_csr(csr)
+    return DecomposedCSR.from_csr(skewed_csr)
+
+
+@pytest.fixture
+def spd_operator(small_random_csr):
+    """A genuinely SPD operator built from the fixture matrix:
+    ``A^T A + n I`` (never indefinite, well conditioned)."""
+    csr = small_random_csr
+    n = csr.ncols
+
+    class SPD:
+        shape = (n, n)
+
+        def matvec(self, x):
+            return csr.rmatvec(csr.matvec(x)) + float(n) * x
+
+        def matmat(self, X):
+            return np.column_stack(
+                [self.matvec(X[:, j]) for j in range(X.shape[1])]
+            )
+
+        def rmatvec(self, x):
+            return self.matvec(x)
+
+    return SPD()

@@ -1,0 +1,170 @@
+"""Guarded kernel execution: faults quarantine the variant and fall
+back to the reference CSR numeric plane bit-identically."""
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveSpMV
+from repro.guard import (
+    BrokenKernel,
+    GuardedKernel,
+    clear_quarantine,
+    inject_value_fault,
+    is_quarantined,
+    kernel_failure_count,
+    kernel_failure_log,
+    quarantined_kernel_names,
+    record_kernel_failure,
+)
+from repro.kernels import baseline_kernel, pool_kernel
+from repro.machine import KNL
+
+
+@pytest.fixture
+def x(small_random_csr, rng):
+    return rng.standard_normal(small_random_csr.ncols)
+
+
+@pytest.mark.parametrize("mode", ["raise", "nan", "shape"])
+def test_faulting_kernel_falls_back_bit_identically(small_random_csr, x,
+                                                    mode):
+    broken = BrokenKernel(baseline_kernel(), mode=mode)
+    guarded = GuardedKernel(broken)
+    data = guarded.preprocess(small_random_csr)
+    y = guarded.apply(data, x)
+    np.testing.assert_array_equal(y, small_random_csr.matvec(x))
+    assert kernel_failure_count(broken.name) == 1
+    assert is_quarantined(broken.name)
+    assert broken.name in quarantined_kernel_names()
+
+
+def test_failure_log_records_reasons(small_random_csr, x):
+    broken = BrokenKernel(baseline_kernel(), mode="shape")
+    guarded = GuardedKernel(broken)
+    guarded.apply(guarded.preprocess(small_random_csr), x)
+    (reason,) = kernel_failure_log(broken.name)
+    assert "shape" in reason
+
+
+def test_quarantined_variant_is_not_called_again(small_random_csr, x):
+    broken = BrokenKernel(baseline_kernel(), mode="raise")
+    guarded = GuardedKernel(broken)
+    data = guarded.preprocess(small_random_csr)
+    guarded.apply(data, x)
+    calls_after_fault = broken.calls
+    guarded.apply(data, x)
+    guarded.apply(data, x)
+    assert broken.calls == calls_after_fault  # quarantine short-circuits
+    assert kernel_failure_count(broken.name) == 1
+
+
+def test_multi_rhs_fallback_matches_matmat(small_random_csr, rng):
+    X = rng.standard_normal((small_random_csr.ncols, 4))
+    broken = BrokenKernel(baseline_kernel(), mode="nan")
+    guarded = GuardedKernel(broken)
+    data = guarded.preprocess(small_random_csr)
+    Y = guarded.apply_multi(data, X)
+    np.testing.assert_array_equal(Y, small_random_csr.matmat(X))
+
+
+def test_intermittent_fault_quarantines_on_first_failure(
+        small_random_csr, x):
+    broken = BrokenKernel(baseline_kernel(), mode="raise", fail_after=2)
+    guarded = GuardedKernel(broken)
+    data = guarded.preprocess(small_random_csr)
+    ref = small_random_csr.matvec(x)
+    for _ in range(4):  # healthy, healthy, fault, fallback
+        np.testing.assert_allclose(guarded.apply(data, x), ref, rtol=1e-12)
+    assert is_quarantined(broken.name)
+
+
+def test_preprocess_failure_quarantines(small_random_csr, x):
+    class ExplodingPreprocess(BrokenKernel):
+        def preprocess(self, csr):
+            raise RuntimeError("injected preprocess fault")
+
+    broken = ExplodingPreprocess(baseline_kernel())
+    guarded = GuardedKernel(broken)
+    data = guarded.preprocess(small_random_csr)
+    assert data.inner is None
+    np.testing.assert_array_equal(
+        guarded.apply(data, x), small_random_csr.matvec(x)
+    )
+    assert kernel_failure_count(broken.name) == 1
+
+
+def test_nan_matrix_does_not_quarantine_healthy_kernel(
+        small_random_csr, x):
+    poisoned = inject_value_fault(small_random_csr, "nan")
+    kernel = baseline_kernel()
+    guarded = GuardedKernel(kernel)
+    data = guarded.preprocess(poisoned)
+    y = guarded.apply(data, x)
+    # NaN output is IEEE propagation from a NaN matrix, not a kernel bug
+    assert not np.isfinite(y).all()
+    assert kernel_failure_count(kernel.name) == 0
+    assert not is_quarantined(kernel.name)
+
+
+def test_guarded_kernel_is_name_transparent():
+    inner = pool_kernel("unrolling")
+    guarded = GuardedKernel(inner)
+    assert guarded.name == inner.name
+    assert guarded.optimizations == inner.optimizations
+    # wrapping twice does not nest
+    assert GuardedKernel(guarded).inner is inner
+
+
+def test_clear_quarantine_resets(small_random_csr, x):
+    record_kernel_failure("some-variant", "forced")
+    assert is_quarantined("some-variant")
+    clear_quarantine("some-variant")
+    assert not is_quarantined("some-variant")
+    assert kernel_failure_count("some-variant") == 0
+
+
+# -- optimizer integration --------------------------------------------
+
+
+def test_optimizer_skips_quarantined_variant(small_random_csr, x):
+    opt = AdaptiveSpMV(KNL, classifier="profile")
+    first = opt.optimize(small_random_csr)
+    assert first.plan.optimizations  # fixture matrix gets optimized
+    assert first.plan.quarantined == ()
+
+    record_kernel_failure(first.plan.kernel_name, "forced")
+    second = opt.optimize(small_random_csr)
+    assert second.plan.kernel_name == baseline_kernel().name
+    assert second.plan.quarantined == (first.plan.kernel_name,)
+    np.testing.assert_array_equal(
+        second.matvec(x), small_random_csr.matvec(x)
+    )
+
+
+def test_optimizer_invalidates_stale_cache_entry(small_random_csr):
+    opt = AdaptiveSpMV(KNL, classifier="profile")
+    first = opt.optimize(small_random_csr)
+    assert opt.plan_cache.invalidations == 0
+    record_kernel_failure(first.plan.kernel_name, "forced")
+    second = opt.optimize(small_random_csr)
+    assert not second.plan.cache_hit  # stale entry dropped, replanned
+    assert opt.plan_cache.invalidations == 1
+    # the fresh (baseline) entry is served normally afterwards
+    third = opt.optimize(small_random_csr)
+    assert third.plan.cache_hit
+
+
+def test_optimizer_guard_mode_survives_broken_registry_kernel(
+        small_random_csr, x):
+    opt = AdaptiveSpMV(KNL, classifier="profile", guard=True)
+    op = opt.optimize(small_random_csr)
+    assert isinstance(op.kernel, GuardedKernel)
+    ref = small_random_csr.matvec(x)
+    np.testing.assert_allclose(op.matvec(x), ref, rtol=1e-12)
+
+    # sabotage the wrapped variant's numeric plane in place
+    op.kernel.inner = BrokenKernel(
+        op.kernel.inner, mode="raise", name=op.kernel.name
+    )
+    np.testing.assert_array_equal(op.matvec(x), ref)
+    assert is_quarantined(op.plan.kernel_name)

@@ -1,0 +1,85 @@
+"""MatrixMarket stream corruption: the reader must fail with typed,
+line-numbered errors — and tolerate benign blank lines."""
+
+import io
+import re
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.guard import MM_FAULTS, corrupt_matrix_market
+from repro.matrices import read_matrix_market, write_matrix_market
+from repro.matrices.mmio import MatrixMarketError
+
+
+@pytest.fixture
+def mm_text(small_random_csr):
+    buf = io.StringIO()
+    write_matrix_market(small_random_csr, buf)
+    return buf.getvalue()
+
+
+@pytest.mark.parametrize(
+    "kind", [k for k in MM_FAULTS if k != "blank-lines"]
+)
+def test_corruptions_raise_typed_errors(mm_text, kind):
+    bad = corrupt_matrix_market(mm_text, kind)
+    with pytest.raises(MatrixMarketError):
+        read_matrix_market(bad)
+
+
+@pytest.mark.parametrize(
+    "kind", ["truncate-mid-line", "index-out-of-range", "malformed-entry"]
+)
+def test_entry_errors_carry_line_numbers(mm_text, kind):
+    bad = corrupt_matrix_market(mm_text, kind)
+    with pytest.raises(MatrixMarketError, match=r"line \d+:") as exc_info:
+        read_matrix_market(bad)
+    # the reported line number points at the corrupted line (1-based)
+    lineno = int(re.search(r"line (\d+):", str(exc_info.value)).group(1))
+    assert 1 <= lineno <= len(bad.splitlines())
+
+
+def test_out_of_range_error_names_the_bad_index(mm_text, small_random_csr):
+    bad = corrupt_matrix_market(mm_text, "index-out-of-range")
+    with pytest.raises(
+        MatrixMarketError,
+        match=rf"out of range \[1, {small_random_csr.nrows}\]",
+    ):
+        read_matrix_market(bad)
+
+
+def test_blank_lines_are_tolerated(mm_text, small_random_csr):
+    spaced = corrupt_matrix_market(mm_text, "blank-lines")
+    back = read_matrix_market(spaced)
+    assert back.shape == small_random_csr.shape
+    assert back.nnz == small_random_csr.nnz
+    np.testing.assert_allclose(back.values, small_random_csr.values)
+
+
+def test_mm_error_is_repro_error(mm_text):
+    bad = corrupt_matrix_market(mm_text, "truncate-entries")
+    with pytest.raises(ReproError):
+        read_matrix_market(bad)
+    with pytest.raises(ValueError):  # old callers keep working
+        read_matrix_market(bad)
+
+
+def test_truncated_stream_reports_counts(mm_text):
+    bad = corrupt_matrix_market(mm_text, "truncate-entries")
+    with pytest.raises(MatrixMarketError, match=r"expected \d+ entries"):
+        read_matrix_market(bad)
+
+
+def test_excess_entries_detected(mm_text):
+    extra = mm_text.rstrip("\n").splitlines()
+    extra.append(extra[-1])  # duplicate the last entry line
+    with pytest.raises(MatrixMarketError, match="more than the declared"):
+        read_matrix_market("\n".join(extra) + "\n")
+
+
+def test_malformed_size_line_carries_line_number():
+    text = "%%MatrixMarket matrix coordinate real general\n% c\n3 three 4\n"
+    with pytest.raises(MatrixMarketError, match="line 3: malformed size"):
+        read_matrix_market(text)

@@ -1,0 +1,102 @@
+"""Solver breakdown recovery: poisoned operators must yield structured
+diagnostics and a finite iterate — never NaN garbage."""
+
+import numpy as np
+import pytest
+
+from repro.guard import inject_value_fault
+from repro.solvers import SolverReport, bicgstab, cg, cgnr, gmres
+
+
+@pytest.fixture
+def poisoned(small_random_csr):
+    return inject_value_fault(small_random_csr, "nan")
+
+
+@pytest.fixture
+def b(small_random_csr, rng):
+    return rng.standard_normal(small_random_csr.nrows)
+
+
+@pytest.mark.parametrize("solver", [cg, bicgstab, gmres])
+def test_poisoned_matrix_reports_breakdown(solver, poisoned, b):
+    res = solver(poisoned, b, maxiter=50)
+    assert not res.converged
+    assert res.breakdown
+    assert res.report.reason == "non-finite-residual"
+    assert np.isfinite(res.x).all()           # last finite iterate
+    assert not np.isnan(res.residual_norm)
+
+
+@pytest.mark.parametrize("kind", ["inf", "-inf"])
+def test_bicgstab_inf_poisoning_reports_breakdown(small_random_csr, b,
+                                                  kind):
+    res = bicgstab(inject_value_fault(small_random_csr, kind), b,
+                   maxiter=50)
+    assert res.breakdown and np.isfinite(res.x).all()
+
+
+def test_cg_bicgstab_attempt_one_restart(poisoned, b):
+    for solver in (cg, bicgstab):
+        res = solver(poisoned, b, maxiter=50)
+        assert res.report.restarts == 1
+
+
+def test_cgnr_reports_breakdown(poisoned, b):
+    res = cgnr(poisoned, b, maxiter=50)
+    assert res.breakdown
+    assert res.report.reason == "non-finite-residual"
+    assert np.isfinite(res.x).all()
+
+
+def test_cg_indefinite_operator_reason():
+    M = np.array([[1.0, 0.0], [0.0, -1.0]])
+
+    class Op:
+        shape = (2, 2)
+
+        def matvec(self, x):
+            return M @ x
+
+    res = cg(Op(), np.array([1.0, 1.0]), maxiter=10)
+    assert not res.converged
+    assert res.breakdown
+    assert res.report.reason == "indefinite-operator"
+    assert np.isfinite(res.x).all()
+
+
+@pytest.mark.parametrize("solver", [cg, bicgstab, gmres, cgnr])
+def test_healthy_solves_report_no_breakdown(solver, spd_operator, b):
+    res = solver(spd_operator, b, tol=1e-10, maxiter=2000)
+    assert res.converged
+    assert not res.breakdown
+    assert res.report == SolverReport()
+
+
+@pytest.mark.parametrize("solver", [cg, bicgstab, gmres])
+def test_block_solve_freezes_poisoned_columns(solver, poisoned,
+                                              small_random_csr, rng):
+    B = rng.standard_normal((small_random_csr.nrows, 3))
+    res = solver(poisoned, B, maxiter=20)
+    assert not res.converged
+    assert res.breakdown
+    assert res.report.reason == "non-finite-residual"
+    assert np.isfinite(res.x).all()
+
+
+def test_block_healthy_solve_no_breakdown(spd_operator,
+                                          small_random_csr, rng):
+    B = rng.standard_normal((small_random_csr.nrows, 3))
+    for solver in (cg, bicgstab):
+        res = solver(spd_operator, B, tol=1e-10, maxiter=2000)
+        assert res.converged and not res.breakdown
+
+
+def test_breakdown_result_is_backward_compatible(poisoned, b):
+    """Old callers that never look at ``report`` still get the classic
+    (x, converged, iterations, residual_norm) contract."""
+    res = bicgstab(poisoned, b, maxiter=10)
+    assert res.x.shape == b.shape
+    assert res.iterations >= 0
+    assert isinstance(res.converged, bool)
+    assert res.spmv_count == res.iterations

@@ -82,6 +82,51 @@ def test_analyze_reports_cache_hit(capsys):
     assert "repeat build: cache_hit=True, overhead 0.00 ms" in out
 
 
+def test_validate_accepts_good_file(tmp_path, capsys, banded_csr):
+    from repro.matrices import write_matrix_market
+
+    path = tmp_path / "good.mtx"
+    write_matrix_market(banded_csr, path)
+    assert main(["validate", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out and f"nnz={banded_csr.nnz}" in out
+
+
+def test_validate_rejects_nan_values(tmp_path, capsys, banded_csr):
+    from repro.guard import inject_value_fault
+    from repro.matrices import write_matrix_market
+
+    path = tmp_path / "nan.mtx"
+    write_matrix_market(inject_value_fault(banded_csr, "nan"), path)
+    assert main(["validate", str(path)]) == 1
+    err = capsys.readouterr().err
+    assert "INVALID" in err and "non-finite-values" in err
+    # structure-only validation lets the same file through
+    assert main(["validate", str(path), "--no-values"]) == 0
+
+
+def test_validate_rejects_corrupt_stream(tmp_path, capsys, banded_csr):
+    import io
+
+    from repro.guard import corrupt_matrix_market
+    from repro.matrices import write_matrix_market
+
+    buf = io.StringIO()
+    write_matrix_market(banded_csr, buf)
+    path = tmp_path / "corrupt.mtx"
+    path.write_text(
+        corrupt_matrix_market(buf.getvalue(), "malformed-entry")
+    )
+    assert main(["validate", str(path)]) == 1
+    err = capsys.readouterr().err
+    assert "INVALID" in err and "line " in err
+
+
+def test_validate_missing_file(capsys):
+    assert main(["validate", "/no/such/file.mtx"]) == 1
+    assert "cannot read" in capsys.readouterr().err
+
+
 def test_parser_rejects_bad_platform():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["analyze", "x", "--platform", "epyc"])
