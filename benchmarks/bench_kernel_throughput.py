@@ -13,6 +13,7 @@ from repro.formats import DeltaCSR
 from repro.kernels import baseline_kernel, merged_pool_kernel
 from repro.machine import ExecutionEngine, KNL
 from repro.matrices import named_matrix
+from repro.pipeline import PipelineRunner
 
 
 @pytest.fixture(scope="module")
@@ -45,12 +46,10 @@ def test_engine_cost_evaluation(benchmark, matrix):
 
 
 def test_engine_full_optimized_pipeline(benchmark, matrix):
-    engine = ExecutionEngine(KNL)
+    runner = PipelineRunner(KNL)
     kernel = merged_pool_kernel(("compression", "prefetching"))
 
-    def pipeline():
-        data = kernel.preprocess(matrix)
-        return engine.run(kernel, data)
-
-    result = benchmark(pipeline)
+    result = benchmark(runner.simulate, kernel, matrix)
     assert result.gflops > 0
+    assert "transform" in runner.tracer.stage_names()
+    assert "execute" in runner.tracer.stage_names()

@@ -1,0 +1,12 @@
+"""Repo-root pytest bootstrap.
+
+Makes ``src/`` importable so ``python -m pytest`` works from a clean
+checkout without installing the package or exporting ``PYTHONPATH``.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Lint gate: ruff when available, byte-compile fallback otherwise.
+#
+# CI images that ship ruff get the full `[tool.ruff]` policy from
+# pyproject.toml; minimal images still get a syntax-level gate so a
+# broken module can never merge silently. Exit status is the linter's.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if python -c "import ruff" >/dev/null 2>&1 || command -v ruff >/dev/null 2>&1; then
+    echo "lint: ruff check src tests benchmarks"
+    if command -v ruff >/dev/null 2>&1; then
+        exec ruff check src tests benchmarks
+    fi
+    exec python -m ruff check src tests benchmarks
+fi
+
+echo "lint: ruff not installed; falling back to python -m compileall"
+exec python -m compileall -q src tests benchmarks

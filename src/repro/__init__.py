@@ -76,6 +76,7 @@ from .guard import (
     quarantined_kernel_names,
     validate_format,
 )
+from .pipeline import PipelineContext, PipelineRunner, Tracer
 from .solvers import SolverReport, bicgstab, cg, gmres, jacobi_preconditioner
 
 __version__ = "1.0.0"
@@ -126,6 +127,10 @@ __all__ = [
     "oracle_search",
     "tune_profile_thresholds",
     "amortization_study",
+    # pipeline
+    "Tracer",
+    "PipelineContext",
+    "PipelineRunner",
     # baselines
     "mkl_csr_kernel",
     "run_mkl_csr",

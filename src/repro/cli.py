@@ -5,6 +5,8 @@
     repro-spmv suite                      # list the named matrix suite
     repro-spmv analyze NAME --platform knl
     repro-spmv analyze path/to/matrix.mtx --platform knc
+    repro-spmv plan NAME --explain        # staged planning breakdown
+    repro-spmv trace NAME                 # JSON span export
     repro-spmv validate path/to/matrix.mtx
     repro-spmv bench --rhs 32             # single vs batched GFLOP/s
     repro-spmv experiment fig7-knl --scale 0.5
@@ -16,7 +18,13 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .core import AdaptiveSpMV, classify_from_bounds, format_classes, measure_bounds
+from .core import (
+    AdaptiveSpMV,
+    PlanCache,
+    classify_from_bounds,
+    format_classes,
+    measure_bounds,
+)
 from .machine import PLATFORMS, get_platform
 from .matrices import (
     NAMED_SUITE,
@@ -47,6 +55,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--platform", default="knl",
                       choices=sorted(PLATFORMS))
     p_an.add_argument("--scale", type=float, default=1.0)
+
+    p_plan = sub.add_parser(
+        "plan",
+        help="run the staged planning pipeline without executing",
+    )
+    p_plan.add_argument("matrix",
+                        help="suite matrix name or MatrixMarket file path")
+    p_plan.add_argument("--platform", default="knl",
+                        choices=sorted(PLATFORMS))
+    p_plan.add_argument("--scale", type=float, default=1.0)
+    p_plan.add_argument("--explain", action="store_true",
+                        help="print the per-stage overhead breakdown")
+    p_plan.add_argument("--cache", default=None, metavar="PATH",
+                        help="warm-start from a persisted plan cache "
+                        "(created by --save-cache) when it exists")
+    p_plan.add_argument("--save-cache", default=None, metavar="PATH",
+                        help="persist the plan cache after planning")
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="optimize + simulate one matrix and export the stage "
+        "spans as JSON",
+    )
+    p_trace.add_argument("matrix",
+                         help="suite matrix name or MatrixMarket file path")
+    p_trace.add_argument("--platform", default="knl",
+                         choices=sorted(PLATFORMS))
+    p_trace.add_argument("--scale", type=float, default=1.0)
+    p_trace.add_argument("--guard", action="store_true",
+                         help="run the kernel under the guard wrapper")
+    p_trace.add_argument("-o", "--output", default="-", metavar="PATH",
+                         help="trace JSON path ('-' for stdout)")
 
     p_val = sub.add_parser(
         "validate",
@@ -138,6 +178,87 @@ def _cmd_analyze(args) -> int:
         f"{1e3 * op2.plan.total_overhead_seconds:.2f} ms (first build "
         f"paid {1e3 * op.plan.total_overhead_seconds:.2f} ms)"
     )
+    return 0
+
+
+#: Span attributes surfaced in the ``plan --explain`` detail column.
+_EXPLAIN_DETAIL_KEYS = (
+    "hit", "classes", "classifier", "optimizations", "kernel",
+    "quarantine_substitutions", "materialized", "nnz",
+)
+
+
+def _explain_detail(span) -> str:
+    parts = []
+    for key in _EXPLAIN_DETAIL_KEYS:
+        if key in span.attributes:
+            value = span.attributes[key]
+            if isinstance(value, list):
+                value = "+".join(str(v) for v in value) or "-"
+            parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def _cmd_plan(args) -> int:
+    import os
+
+    from .experiments.common import render_table
+    from .pipeline import Tracer
+
+    machine = get_platform(args.platform)
+    csr = _load_matrix(args.matrix, args.scale)
+    cache = None
+    if args.cache and os.path.exists(args.cache):
+        cache = PlanCache.load(args.cache)
+        print(f"loaded plan cache {args.cache} ({len(cache)} entries)")
+    optimizer = AdaptiveSpMV(machine, classifier="profile",
+                             plan_cache=cache)
+    tracer = Tracer()
+    plan = optimizer.plan(csr, tracer=tracer)
+    print(f"plan: {plan}")
+    print(f"cache_hit={plan.cache_hit}")
+    if args.explain:
+        rows = [
+            (s.name, float(1e3 * s.charged_seconds),
+             float(1e3 * s.wall_seconds), _explain_detail(s))
+            for s in tracer.spans
+        ]
+        total_charged = tracer.total_charged_seconds()
+        rows.append(("total", float(1e3 * total_charged),
+                     float(1e3 * tracer.total_wall_seconds()), ""))
+        print(render_table(
+            ("stage", "charged (ms)", "wall (ms)", "detail"), rows
+        ))
+        print(
+            f"stage charges sum to {1e3 * total_charged:.6f} ms; "
+            f"plan total overhead is "
+            f"{1e3 * plan.total_overhead_seconds:.6f} ms"
+        )
+    if args.save_cache:
+        n = (optimizer.plan_cache.save(args.save_cache)
+             if optimizer.plan_cache is not None else 0)
+        print(f"saved plan cache {args.save_cache} ({n} entries)")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .pipeline import PipelineRunner, Tracer
+
+    machine = get_platform(args.platform)
+    csr = _load_matrix(args.matrix, args.scale)
+    tracer = Tracer()
+    runner = PipelineRunner(machine, tracer=tracer)
+    optimizer = AdaptiveSpMV(machine, classifier="profile",
+                             guard=args.guard)
+    _, result = runner.run_optimized(optimizer, csr)
+    if args.output == "-":
+        print(tracer.to_json())
+    else:
+        tracer.export(args.output)
+        print(
+            f"wrote {args.output} ({len(tracer)} spans, "
+            f"{result.gflops:.2f} Gflop/s simulated)"
+        )
     return 0
 
 
@@ -279,6 +400,8 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "suite": _cmd_suite,
         "analyze": _cmd_analyze,
+        "plan": _cmd_plan,
+        "trace": _cmd_trace,
         "validate": _cmd_validate,
         "bench": _cmd_bench,
         "train": _cmd_train,

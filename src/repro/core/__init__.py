@@ -15,6 +15,8 @@ from .classes import (
 from .feature_classifier import FeatureGuidedClassifier, TrainingReport
 from .gridsearch import GridPoint, GridSearchResult, tune_profile_thresholds
 from .optimizer import (
+    CACHE_SCHEMA_VERSION,
+    PLAN_SCHEMA_VERSION,
     AdaptiveSpMV,
     OptimizationPlan,
     OptimizedSpMV,
@@ -62,6 +64,8 @@ __all__ = [
     "OptimizationPlan",
     "OptimizedSpMV",
     "PlanCache",
+    "PLAN_SCHEMA_VERSION",
+    "CACHE_SCHEMA_VERSION",
     "matrix_fingerprint",
     "OracleChoice",
     "oracle_search",

@@ -1,6 +1,8 @@
 """The adaptive SpMV optimizer — the paper's end-to-end system.
 
-``AdaptiveSpMV`` ties the pieces together:
+``AdaptiveSpMV`` is a thin composition of the staged planning pipeline
+(:mod:`repro.pipeline`): analyze → classify → select → transform, each
+stage traced and independently swappable. The stages
 
 1. classify the input matrix's bottlenecks (profile- or feature-guided);
 2. map the detected classes to pool optimizations (Table I), jointly;
@@ -9,17 +11,21 @@
    (``matvec`` / batched ``matmat``) and performance-simulatable
    (``simulate``), with its full setup-cost accounting attached.
 
-Repeat matrices are served from a :class:`PlanCache`: a cheap
-structural fingerprint (shape, nnz, rowptr/colind digest) keys the
-classification decision *and* the converted execution format, so the
-Table V amortization overhead of a recurring operator drops to ~zero —
-the cache hit is visible in ``OptimizationPlan.decision_seconds`` /
-``setup_seconds``.
+The decision is frozen into an :class:`OptimizationPlan` — a
+serializable IR (``to_dict``/``from_dict``, schema-versioned) — and
+repeat matrices are served from a :class:`PlanCache`: a cheap
+structural fingerprint (shape, nnz, rowptr/colind dtype + bytes) keys
+the classification decision *and* the converted execution format, so
+the Table V amortization overhead of a recurring operator drops to
+~zero. Caches persist across processes (``PlanCache.save``/``load``):
+a warm-started optimizer serves its first request at zero decision
+cost, visible in ``OptimizationPlan.decision_seconds``.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
@@ -27,16 +33,28 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ..formats import CSRMatrix
-from ..kernels import ConfiguredSpMV, baseline_kernel, is_quarantined
+from ..kernels import (
+    ConfiguredSpMV,
+    baseline_kernel,
+    is_quarantined,
+    merged_pool_kernel,
+)
 from ..machine import ExecutionEngine, MachineSpec, RunResult
-from ..matrices.features import extract_features
+from ..pipeline import (
+    PipelineContext,
+    Tracer,
+    default_planning_stages,
+    run_stages,
+)
 from ..sched import Partition
-from .classes import ClassSet, format_classes
+from .classes import Bottleneck, ClassSet, format_classes
 from .feature_classifier import FeatureGuidedClassifier
 from .pool import DEFAULT_POOL, OptimizationPool
 from .profile_classifier import ProfileGuidedClassifier
 
 __all__ = [
+    "PLAN_SCHEMA_VERSION",
+    "CACHE_SCHEMA_VERSION",
     "OptimizationPlan",
     "OptimizedSpMV",
     "AdaptiveSpMV",
@@ -44,30 +62,44 @@ __all__ = [
     "matrix_fingerprint",
 ]
 
+#: Version of the serialized :class:`OptimizationPlan` IR.
+PLAN_SCHEMA_VERSION = 1
+
+#: Version of the :meth:`PlanCache.save` file layout.
+CACHE_SCHEMA_VERSION = 1
+
 
 def matrix_fingerprint(csr: CSRMatrix) -> str:
     """Cheap structural fingerprint of a CSR matrix.
 
-    Hashes shape, nnz and the raw ``rowptr``/``colind`` bytes (one
-    linear pass, no numeric work) — two matrices with the same
-    fingerprint have identical sparsity structure, which is all the
-    classifiers and format conversions depend on. Values are digested
-    separately (see :class:`PlanCache`) so a matrix whose coefficients
-    changed but whose structure did not can still reuse its plan.
+    Hashes shape, nnz and the ``rowptr``/``colind`` arrays (one linear
+    pass, no numeric work) — two matrices with the same fingerprint
+    have identical sparsity structure, which is all the classifiers and
+    format conversions depend on. Each index array is digested together
+    with its dtype string (``arr.dtype.str``, which encodes width *and*
+    endianness), so an int32 and an int64 array with coincidentally
+    equal bytes cannot alias and fingerprints are stable enough to key
+    on-disk plans. Values are digested separately (see
+    :class:`PlanCache`) so a matrix whose coefficients changed but
+    whose structure did not can still reuse its plan.
     """
     h = hashlib.blake2b(digest_size=16)
     h.update(
         np.array([csr.shape[0], csr.shape[1], csr.nnz],
                  dtype=np.int64).tobytes()
     )
-    h.update(np.ascontiguousarray(csr.rowptr).tobytes())
-    h.update(np.ascontiguousarray(csr.colind).tobytes())
+    for arr in (csr.rowptr, csr.colind):
+        a = np.ascontiguousarray(arr)
+        h.update(a.dtype.str.encode("ascii"))
+        h.update(a.tobytes())
     return h.hexdigest()
 
 
 def _values_digest(csr: CSRMatrix) -> str:
     h = hashlib.blake2b(digest_size=16)
-    h.update(np.ascontiguousarray(csr.values).tobytes())
+    a = np.ascontiguousarray(csr.values)
+    h.update(a.dtype.str.encode("ascii"))
+    h.update(a.tobytes())
     return h.hexdigest()
 
 
@@ -80,6 +112,20 @@ class _CacheEntry:
     kernel: ConfiguredSpMV
     data: object | None
     values_digest: str | None
+
+
+def _kernel_from_plan(plan: "OptimizationPlan"):
+    """Reconstruct a plan's kernel from its optimization names.
+
+    Used when a cache entry is revived from disk: the configuration is
+    fully determined by the (deterministic) optimization name list, so
+    the rebuilt kernel is numerically identical to the one originally
+    planned. A plan that recorded a quarantine substitution already
+    runs the baseline.
+    """
+    if plan.quarantined or not plan.optimizations:
+        return baseline_kernel()
+    return merged_pool_kernel(plan.optimizations)
 
 
 class PlanCache:
@@ -97,6 +143,13 @@ class PlanCache:
     shared between optimizers running on different threads; the
     ``evictions`` / ``invalidations`` counters (visible in ``repr``)
     track LRU pressure and guard-layer entry drops respectively.
+
+    Caches survive processes: :meth:`save` writes every entry's plan IR
+    (keys + serialized :class:`OptimizationPlan`) as JSON, and
+    :meth:`load` revives them with kernels rebuilt from the plan's
+    optimization names. Revived entries carry no converted data — the
+    first ``optimize()`` re-runs (and re-charges) the conversion but
+    pays zero decision cost, which is the expensive half of Table V.
     """
 
     def __init__(self, maxsize: int = 32):
@@ -138,12 +191,72 @@ class PlanCache:
             return present
 
     def clear(self) -> None:
+        """Drop every entry. Counters are kept — a clear is an
+        operational event, not a statistical reset; see
+        :meth:`reset_stats`."""
         with self._lock:
             self._entries.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction/invalidation counters."""
+        with self._lock:
             self.hits = 0
             self.misses = 0
             self.evictions = 0
             self.invalidations = 0
+
+    # -- persistence ---------------------------------------------------
+
+    def save(self, path) -> int:
+        """Serialize every entry's key + plan IR as JSON at ``path``.
+
+        Converted execution-format data and kernel objects are not
+        serialized (they are cheap to rebuild and process-local);
+        loading restores zero-decision-cost service. Returns the number
+        of entries written.
+        """
+        with self._lock:
+            entries = [
+                {"key": list(key), "plan": entry.plan.to_dict()}
+                for key, entry in self._entries.items()
+            ]
+        payload = {
+            "schema_version": CACHE_SCHEMA_VERSION,
+            "maxsize": self.maxsize,
+            "entries": entries,
+        }
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        return len(entries)
+
+    @classmethod
+    def load(cls, path, maxsize: int | None = None) -> "PlanCache":
+        """Revive a cache written by :meth:`save`.
+
+        Kernels are rebuilt from each plan's optimization names
+        (deterministic, so numerics are bit-identical to the original
+        planning); entries whose kernel has been quarantined *since*
+        the save are dropped on lookup exactly like live entries.
+        """
+        with open(path) as fh:
+            payload = json.load(fh)
+        version = payload.get("schema_version")
+        if version != CACHE_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported plan-cache schema {version!r} "
+                f"(this build reads {CACHE_SCHEMA_VERSION})"
+            )
+        cache = cls(maxsize=maxsize or int(payload.get("maxsize", 32)))
+        for item in payload.get("entries", []):
+            plan = OptimizationPlan.from_dict(item["plan"])
+            # A revived plan must not claim its previous hit status.
+            plan = replace(plan, cache_hit=False)
+            key = tuple(item["key"])
+            cache._entries[key] = _CacheEntry(
+                plan, _kernel_from_plan(plan), None, None
+            )
+        return cache
 
     def __len__(self) -> int:
         with self._lock:
@@ -160,7 +273,13 @@ class PlanCache:
 
 @dataclass(frozen=True)
 class OptimizationPlan:
-    """What the optimizer decided for one matrix, and what it cost."""
+    """What the optimizer decided for one matrix, and what it cost.
+
+    The plan doubles as a serializable IR: :meth:`to_dict` /
+    :meth:`from_dict` round-trip every field under
+    :data:`PLAN_SCHEMA_VERSION`, which is what :meth:`PlanCache.save`
+    persists.
+    """
 
     classes: ClassSet
     optimizations: tuple[str, ...]
@@ -175,6 +294,42 @@ class OptimizationPlan:
     def total_overhead_seconds(self) -> float:
         """Full optimizer overhead, the ``t_pre`` of paper Table V."""
         return self.decision_seconds + self.setup_seconds
+
+    def to_dict(self) -> dict:
+        """Serialize to the schema-versioned plan IR."""
+        return {
+            "schema_version": PLAN_SCHEMA_VERSION,
+            "classes": sorted(c.value for c in self.classes),
+            "optimizations": list(self.optimizations),
+            "kernel_name": self.kernel_name,
+            "decision_seconds": float(self.decision_seconds),
+            "setup_seconds": float(self.setup_seconds),
+            "classifier_kind": self.classifier_kind,
+            "cache_hit": bool(self.cache_hit),
+            "quarantined": list(self.quarantined),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "OptimizationPlan":
+        """Inverse of :meth:`to_dict`; rejects unknown schema versions."""
+        version = payload.get("schema_version")
+        if version != PLAN_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported plan schema {version!r} "
+                f"(this build reads {PLAN_SCHEMA_VERSION})"
+            )
+        return cls(
+            classes=frozenset(
+                Bottleneck(v) for v in payload["classes"]
+            ),
+            optimizations=tuple(payload["optimizations"]),
+            kernel_name=payload["kernel_name"],
+            decision_seconds=float(payload["decision_seconds"]),
+            setup_seconds=float(payload["setup_seconds"]),
+            classifier_kind=payload["classifier_kind"],
+            cache_hit=bool(payload.get("cache_hit", False)),
+            quarantined=tuple(payload.get("quarantined", ())),
+        )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         opts = "+".join(self.optimizations) if self.optimizations else "none"
@@ -235,8 +390,10 @@ class AdaptiveSpMV:
         Optimization pool (class -> optimization mapping).
     plan_cache
         ``None`` (default) gives the optimizer a private
-        :class:`PlanCache`; pass a shared :class:`PlanCache` to pool
-        decisions across optimizers, or ``False`` to disable caching.
+        :class:`PlanCache`; pass a shared :class:`PlanCache` (possibly
+        revived via :meth:`PlanCache.load`) to pool decisions across
+        optimizers or warm-start across processes, or ``False`` to
+        disable caching.
     guard
         When true, the selected kernel is wrapped in a
         :class:`~repro.guard.guarded.GuardedKernel`: runtime faults
@@ -246,6 +403,11 @@ class AdaptiveSpMV:
         substitutes the baseline kernel and notes the skipped name in
         ``OptimizationPlan.quarantined``), and cached entries whose
         kernel has since been quarantined are invalidated on lookup.
+    stages
+        The planning pipeline to compose (default:
+        :func:`~repro.pipeline.stages.default_planning_stages`, i.e.
+        analyze → classify → select → transform). Replace or extend to
+        swap individual stages without touching the others.
     """
 
     def __init__(
@@ -256,11 +418,16 @@ class AdaptiveSpMV:
         nthreads: int | None = None,
         plan_cache: "PlanCache | None | bool" = None,
         guard: bool = False,
+        stages=None,
     ):
         self.machine = machine
         self.pool = pool or DEFAULT_POOL
         self.nthreads = nthreads
         self.guard = bool(guard)
+        self.stages = (
+            tuple(stages) if stages is not None
+            else default_planning_stages()
+        )
         if plan_cache is None:
             self.plan_cache: PlanCache | None = PlanCache()
         elif plan_cache is False:
@@ -290,62 +457,50 @@ class AdaptiveSpMV:
 
     def _cache_key(self, fingerprint: str) -> tuple:
         """Cache key: the decision depends on the matrix structure, the
-        target machine, the classifier and the pool mapping."""
+        target machine, the classifier and the pool mapping.
+
+        Every component is a *content* string — no object identities —
+        so keys are stable across processes and safe to persist
+        (:meth:`PlanCache.save`). The pool contributes its
+        :meth:`~repro.core.pool.OptimizationPool.content_signature`.
+        """
         return (
             fingerprint,
             self.machine.name,
             self.classifier_kind,
-            id(self.pool),
+            self.pool.content_signature(),
         )
 
-    def _plan_and_kernel(self, csr: CSRMatrix):
-        """Classify, select and configure once; the single source of
-        truth for both :meth:`plan` and :meth:`optimize`."""
-        classes, decision_seconds = self._classifier.classify_with_cost(csr)
-        features = extract_features(
-            csr,
-            llc_bytes=self.machine.llc_bytes,
-            line_elems=self.machine.line_elems,
-        )
-        optimizations = self.pool.select(classes, features)
-        kernel = (
-            self.pool.kernel_for(classes, features)
-            if optimizations
-            else baseline_kernel()
-        )
-        quarantined: tuple[str, ...] = ()
-        if optimizations and is_quarantined(kernel.name):
-            # The selected variant is known-bad: plan the reference
-            # kernel instead and record what was skipped.
-            quarantined = (kernel.name,)
-            kernel = baseline_kernel()
-        if self.guard:
-            from ..guard.guarded import GuardedKernel
-
-            kernel = GuardedKernel(kernel)
-        setup_seconds = kernel.preprocessing_seconds(csr, self.machine)
-        plan = OptimizationPlan(
-            classes=classes,
-            optimizations=optimizations,
-            kernel_name=kernel.name,
-            decision_seconds=decision_seconds,
-            setup_seconds=setup_seconds,
+    def _run_stages(self, csr: CSRMatrix, materialize: bool,
+                    tracer: Tracer) -> PipelineContext:
+        """Run the planning pipeline over a fresh context."""
+        ctx = PipelineContext(
+            csr=csr,
+            machine=self.machine,
+            classifier=self._classifier,
             classifier_kind=self.classifier_kind,
-            quarantined=quarantined,
+            pool=self.pool,
+            guard=self.guard,
+            materialize=materialize,
+            nthreads=self.nthreads,
+            tracer=tracer,
         )
-        return plan, kernel
+        return run_stages(self.stages, ctx)
 
-    def _lookup(self, csr: CSRMatrix):
+    def _lookup(self, csr: CSRMatrix, tracer: Tracer | None = None):
         """Return ``(key, entry)`` for ``csr``; both None with caching off.
 
         A cached entry whose kernel has since been quarantined is stale:
         it is invalidated here and reported as a miss so the plan is
-        redone against the current quarantine list.
+        redone against the current quarantine list. Entries revived
+        from disk (or shared with an unguarded optimizer) are re-wrapped
+        in the guard when this optimizer guards.
         """
         if self.plan_cache is None:
             return None, None
         key = self._cache_key(matrix_fingerprint(csr))
         entry = self.plan_cache.get(key)
+        invalidated = False
         if (
             entry is not None
             and entry.plan.optimizations
@@ -353,22 +508,54 @@ class AdaptiveSpMV:
         ):
             self.plan_cache.invalidate(key)
             entry = None
+            invalidated = True
+        if entry is not None and self.guard:
+            from ..guard.guarded import GuardedKernel
+
+            if not isinstance(entry.kernel, GuardedKernel):
+                # Revived/shared entry planned without the guard: wrap
+                # it and drop its data (typed for the unwrapped kernel).
+                entry = _CacheEntry(
+                    entry.plan, GuardedKernel(entry.kernel), None, None
+                )
+                self.plan_cache.store(key, entry)
+        if tracer is not None:
+            tracer.record(
+                "cache",
+                hit=entry is not None,
+                invalidated_stale=invalidated,
+                fingerprint=key[0],
+            )
         return key, entry
 
-    def plan(self, csr: CSRMatrix) -> OptimizationPlan:
-        """Classify and select optimizations without converting data."""
-        key, entry = self._lookup(csr)
+    def plan(self, csr: CSRMatrix,
+             tracer: Tracer | None = None) -> OptimizationPlan:
+        """Classify and select optimizations without converting data.
+
+        Pass a :class:`~repro.pipeline.tracer.Tracer` to receive one
+        span per pipeline stage (the ``repro-spmv plan --explain``
+        breakdown); the spans' ``charged_seconds`` sum to the returned
+        plan's ``total_overhead_seconds``.
+        """
+        own_tracer = tracer if tracer is not None else Tracer()
+        key, entry = self._lookup(csr, own_tracer)
         if entry is not None:
-            return replace(entry.plan, decision_seconds=0.0,
+            plan = replace(entry.plan, decision_seconds=0.0,
                            cache_hit=True)
-        plan, kernel = self._plan_and_kernel(csr)
+            # The retained setup forecast is charged to the cache span
+            # so traced stage totals always match the plan.
+            own_tracer.spans[-1].charged_seconds = plan.setup_seconds
+            return plan
+        ctx = self._run_stages(csr, materialize=False, tracer=own_tracer)
+        plan = ctx.build_plan()
         if key is not None:
             self.plan_cache.store(
-                key, _CacheEntry(plan, kernel, None, None)
+                key, _CacheEntry(plan, ctx.kernel, None, None)
             )
         return plan
 
-    def optimize(self, csr: CSRMatrix) -> OptimizedSpMV:
+    def optimize(self, csr: CSRMatrix,
+                 tracer: Tracer | None = None) -> OptimizedSpMV:
         """Full pipeline: classify, select, preprocess, return operator.
 
         Repeat matrices are served from the plan cache: a structural
@@ -377,7 +564,8 @@ class AdaptiveSpMV:
         outright (``setup_seconds == 0``) — the operator is ready at
         zero amortization overhead.
         """
-        key, entry = self._lookup(csr)
+        own_tracer = tracer if tracer is not None else Tracer()
+        key, entry = self._lookup(csr, own_tracer)
         digest = _values_digest(csr) if key is not None else None
         if entry is not None:
             kernel = entry.kernel
@@ -390,7 +578,10 @@ class AdaptiveSpMV:
                 )
             # Same structure, new values: the decision is free but the
             # format conversion must re-run and stays charged.
-            data = kernel.preprocess(csr)
+            with own_tracer.span("transform", kernel=kernel.name,
+                                 materialized=True) as span:
+                data = kernel.preprocess(csr)
+                span.charged_seconds = entry.plan.setup_seconds
             entry.data = data
             entry.values_digest = digest
             plan = replace(entry.plan, decision_seconds=0.0,
@@ -399,16 +590,16 @@ class AdaptiveSpMV:
                 csr=csr, kernel=kernel, data=data,
                 machine=self.machine, plan=plan,
             )
-        plan, kernel = self._plan_and_kernel(csr)
-        data = kernel.preprocess(csr)
+        ctx = self._run_stages(csr, materialize=True, tracer=own_tracer)
+        plan = ctx.build_plan()
         if key is not None:
             self.plan_cache.store(
-                key, _CacheEntry(plan, kernel, data, digest)
+                key, _CacheEntry(plan, ctx.kernel, ctx.data, digest)
             )
         return OptimizedSpMV(
             csr=csr,
-            kernel=kernel,
-            data=data,
+            kernel=ctx.kernel,
+            data=ctx.data,
             machine=self.machine,
             plan=plan,
         )

@@ -20,7 +20,7 @@ classifiers — the plug-and-play property the paper argues for.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from ..formats import CSRMatrix
 from ..kernels import ConfiguredSpMV, merged_pool_kernel
@@ -88,6 +88,34 @@ class OptimizationPool:
                 )
             self.mapping[bottleneck] = value
         return self
+
+    def content_signature(self) -> str:
+        """Stable content signature of this pool's mapping and policy.
+
+        The signature describes *what the pool maps to*, not which
+        object holds the mapping: string entries contribute their name,
+        callable entries their qualified function name. Two pools with
+        identical mappings and policies share a signature in any
+        process, which makes it safe as a plan-cache key component
+        (including for caches persisted via ``PlanCache.save``) —
+        unlike ``id(pool)``, which is unstable across processes and can
+        collide after garbage collection reuses an address.
+        """
+        parts = []
+        for bottleneck in sorted(self.mapping, key=lambda b: b.value):
+            entry = self.mapping[bottleneck]
+            if isinstance(entry, str):
+                desc = entry
+            else:
+                func = getattr(entry, "__func__", entry)
+                module = getattr(func, "__module__", "?")
+                qualname = getattr(func, "__qualname__", repr(entry))
+                desc = f"callable:{module}.{qualname}"
+            parts.append(f"{bottleneck.value}={desc}")
+        policy = ",".join(
+            f"{k}={v!r}" for k, v in sorted(asdict(self.policy).items())
+        )
+        return ";".join(parts) + "|" + policy
 
     def imb_strategy(self, features: FeatureVector) -> str:
         """Pick the IMB sub-optimization from structural features."""

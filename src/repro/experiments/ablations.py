@@ -14,11 +14,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..kernels import ConfiguredSpMV, SpMVConfig, baseline_kernel
-from ..machine import KNC, KNL, ExecutionEngine, MachineSpec
+from ..machine import KNC, KNL, MachineSpec
 from ..matrices import load_suite, named_matrix, training_suite
 from ..matrices.features import PAPER_ON_SUBSET, PAPER_ONNZ_SUBSET, O1_FEATURES
 from ..ml import DecisionTree, k_fold
-from .common import ExperimentTable
+from .common import ExperimentTable, PipelineRunner
 from .table4 import corpus_features_and_labels
 
 __all__ = [
@@ -35,7 +35,7 @@ __all__ = [
 
 def imb_strategy(machine: MachineSpec = KNL, scale: float = 1.0) -> ExperimentTable:
     """A1: which IMB remedy wins where."""
-    engine = ExecutionEngine(machine)
+    runner = PipelineRunner(machine)
     base = baseline_kernel()
     variants = {
         "decompose": ConfiguredSpMV(SpMVConfig(decompose=True)),
@@ -56,10 +56,10 @@ def imb_strategy(machine: MachineSpec = KNL, scale: float = 1.0) -> ExperimentTa
     )
     for name, kind in cases:
         csr = named_matrix(name, scale=scale)
-        r0 = engine.run(base, base.preprocess(csr))
+        r0 = runner.simulate(base, csr)
         row = [name, kind]
         for kernel in variants.values():
-            r = engine.run(kernel, kernel.preprocess(csr))
+            r = runner.simulate(kernel, csr)
             row.append(float(r.gflops / r0.gflops))
         table.add(*row)
     table.note(
@@ -71,7 +71,7 @@ def imb_strategy(machine: MachineSpec = KNL, scale: float = 1.0) -> ExperimentTa
 
 def delta_width(machine: MachineSpec = KNC, scale: float = 1.0) -> ExperimentTable:
     """A2: forced delta widths vs the automatic choice."""
-    engine = ExecutionEngine(machine)
+    runner = PipelineRunner(machine)
     base = baseline_kernel()
     table = ExperimentTable(
         experiment_id="ablation-delta",
@@ -83,7 +83,7 @@ def delta_width(machine: MachineSpec = KNC, scale: float = 1.0) -> ExperimentTab
     for spec, csr in load_suite(
         scale=scale, names=("consph", "boneS10", "poisson3Db", "webbase-1M")
     ):
-        r0 = engine.run(base, base.preprocess(csr))
+        r0 = runner.simulate(base, csr)
         row: list = [spec.name]
         auto_width = None
         resets8 = None
@@ -97,7 +97,7 @@ def delta_width(machine: MachineSpec = KNC, scale: float = 1.0) -> ExperimentTab
                 resets8 = delta.n_resets / max(csr.nnz, 1)
             if width is None:
                 auto_width = delta.width
-            r = engine.run(kernel, data)
+            r = runner.simulate(kernel, csr, data=data)
             row.append(float(r.gflops / r0.gflops))
         row.append(f"{auto_width}-bit")
         row.append(float(resets8))
@@ -112,7 +112,7 @@ def delta_width(machine: MachineSpec = KNC, scale: float = 1.0) -> ExperimentTab
 def scheduling_policies(machine: MachineSpec = KNC,
                         scale: float = 1.0) -> ExperimentTable:
     """A3: baseline-kernel scheduling policy comparison."""
-    engine = ExecutionEngine(machine)
+    runner = PipelineRunner(machine)
     policies = ("static-rows", "balanced-nnz", "auto", "dynamic")
     table = ExperimentTable(
         experiment_id="ablation-sched",
@@ -126,7 +126,7 @@ def scheduling_policies(machine: MachineSpec = KNC,
         row: list = [spec.name]
         for policy in policies:
             kernel = ConfiguredSpMV(SpMVConfig(schedule=policy))
-            r = engine.run(kernel, kernel.preprocess(csr))
+            r = runner.simulate(kernel, csr, label=f"sched:{policy}")
             row.append(float(r.gflops))
         table.add(*row)
     table.note(
@@ -205,7 +205,7 @@ def bcsr_vs_delta(machine: MachineSpec = KNC,
     """
     from ..kernels import baseline_kernel, pool_kernel
 
-    engine = ExecutionEngine(machine)
+    runner = PipelineRunner(machine)
     base = baseline_kernel()
     table = ExperimentTable(
         experiment_id="ablation-bcsr",
@@ -228,11 +228,11 @@ def bcsr_vs_delta(machine: MachineSpec = KNC,
     )
     delta = pool_kernel("compression")
     for name, csr in cases:
-        r0 = engine.run(base, base.preprocess(csr))
-        rd = engine.run(delta, delta.preprocess(csr))
+        r0 = runner.simulate(base, csr)
+        rd = runner.simulate(delta, csr)
         bcsr = pool_kernel("bcsr")
         data = bcsr.preprocess(csr)
-        rb = engine.run(bcsr, data)
+        rb = runner.simulate(bcsr, csr, data=data)
         table.add(
             name,
             float(rd.gflops / r0.gflops),
@@ -261,7 +261,7 @@ def format_landscape(machine: MachineSpec = KNC,
     """
     from ..kernels import baseline_kernel, merged_pool_kernel, pool_kernel
 
-    engine = ExecutionEngine(machine)
+    runner = PipelineRunner(machine)
     base = baseline_kernel()
     table = ExperimentTable(
         experiment_id="ablation-formats",
@@ -291,7 +291,7 @@ def format_landscape(machine: MachineSpec = KNC,
 
     vec = ConfiguredSpMV(SpMVConfig(vectorize=True))
     for name, archetype, csr in cases:
-        r0 = engine.run(base, base.preprocess(csr))
+        r0 = runner.simulate(base, csr)
         row = [name, archetype]
         results = {}
         for label, kernel in (
@@ -300,7 +300,7 @@ def format_landscape(machine: MachineSpec = KNC,
             ("bcsr 2x2", pool_kernel("bcsr")),
             ("sell-8", pool_kernel("sell-c-sigma")),
         ):
-            r = engine.run(kernel, kernel.preprocess(csr))
+            r = runner.simulate(kernel, csr, label=label)
             results[label] = r.gflops / r0.gflops
             row.append(float(results[label]))
         row.append(max(results, key=results.get))

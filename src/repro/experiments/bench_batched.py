@@ -12,7 +12,6 @@ and validates the schema on every CI run.
 from __future__ import annotations
 
 import json
-import time
 
 import numpy as np
 
@@ -20,7 +19,7 @@ from ..formats import CSRMatrix
 from ..kernels import baseline_kernel, merged_pool_kernel
 from ..kernels.bcsr import BCSRSpMV
 from ..kernels.sellcs import SellCSigmaSpMV
-from .common import ExperimentTable, geometric_mean
+from .common import ExperimentTable, PipelineRunner, geometric_mean
 
 __all__ = ["run", "bench_kernels", "BENCH_SCHEMA_KEYS", "ROW_SCHEMA_KEYS"]
 
@@ -61,15 +60,6 @@ def _bench_kernel_variants() -> list[tuple[str, object]]:
     ]
 
 
-def _median_seconds(fn, repeats: int) -> float:
-    times = []
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        times.append(time.perf_counter() - t0)
-    return float(np.median(times))
-
-
 def bench_kernels(
     *,
     rhs: int = 32,
@@ -93,6 +83,7 @@ def bench_kernels(
     if kernels is None:
         kernels = _bench_kernel_variants()
     rng = np.random.default_rng(2017)
+    runner = PipelineRunner()
 
     rows = []
     for mat_name, csr in matrices:
@@ -108,9 +99,13 @@ def bench_kernels(
                 for j in range(rhs):
                     kernel.apply(data, X[:, j])
 
-            t_single = _median_seconds(single, repeats)
-            t_batched = _median_seconds(
-                lambda: kernel.apply_multi(data, X), repeats
+            t_single = runner.time_seconds(
+                single, repeats=repeats,
+                label=f"single:{kern_name}:{mat_name}",
+            )
+            t_batched = runner.time_seconds(
+                lambda: kernel.apply_multi(data, X), repeats=repeats,
+                label=f"batched:{kern_name}:{mat_name}",
             )
             rows.append({
                 "kernel": kern_name,

@@ -13,9 +13,14 @@ from __future__ import annotations
 from ..baselines import InspectorExecutor, mkl_csr_kernel
 from ..core import AdaptiveSpMV, format_classes, oracle_search
 from ..kernels import baseline_kernel
-from ..machine import ExecutionEngine, MachineSpec, get_platform
+from ..machine import MachineSpec, get_platform
 from ..matrices import load_suite
-from .common import ExperimentTable, geometric_mean, trained_feature_classifier
+from .common import (
+    ExperimentTable,
+    PipelineRunner,
+    geometric_mean,
+    trained_feature_classifier,
+)
 
 __all__ = ["run"]
 
@@ -31,7 +36,7 @@ def run(
     machine = (
         get_platform(platform) if isinstance(platform, str) else platform
     )
-    engine = ExecutionEngine(machine)
+    runner = PipelineRunner(machine)
     mkl = mkl_csr_kernel()
     base = baseline_kernel()
     has_ie = machine.codename != "knc"
@@ -57,13 +62,13 @@ def run(
 
     speedups = {"feat": [], "prof": [], "ie": []}
     for spec, csr in load_suite(scale=scale, names=names):
-        r_mkl = engine.run(mkl, mkl.preprocess(csr))
+        r_mkl = runner.simulate(mkl, csr)
         row: list = [spec.name, float(r_mkl.gflops)]
         if has_ie:
             r_ie = ie.optimize(csr).result
             row.append(float(r_ie.gflops))
             speedups["ie"].append(r_ie.gflops / r_mkl.gflops)
-        r_base = engine.run(base, base.preprocess(csr))
+        r_base = runner.simulate(base, csr)
         row.append(float(r_base.gflops))
 
         op_f = feat_opt.optimize(csr)

@@ -10,14 +10,10 @@ simulated).
 
 from __future__ import annotations
 
-import time
-
-import numpy as np
-
 from ..matrices import FEATURE_COMPLEXITY, FEATURE_NAMES
 from ..matrices.features import extract_features
 from ..matrices.generators import random_uniform
-from .common import ExperimentTable
+from .common import ExperimentTable, PipelineRunner
 
 __all__ = ["run", "extraction_scaling"]
 
@@ -50,14 +46,14 @@ def extraction_scaling(
         title="Feature extraction wall time vs matrix size",
         headers=("rows", "nnz", "seconds"),
     )
+    runner = PipelineRunner()
     times = []
     for n in sizes:
         csr = random_uniform(n, nnz_per_row=nnz_per_row, seed=7)
-        best = np.inf
-        for _ in range(repeats):
-            t0 = time.perf_counter()
-            extract_features(csr)
-            best = min(best, time.perf_counter() - t0)
+        best = runner.time_seconds(
+            lambda: extract_features(csr), repeats=repeats,
+            reduce="min", label=f"extract:{n}",
+        )
         times.append(best)
         table.add(n, csr.nnz, float(best))
     # Linear-scaling note: time ratio should not exceed ~2x the size ratio.

@@ -65,6 +65,13 @@ class GuardedKernel(Kernel):
         self.name = inner.name
         self.optimizations = inner.optimizations
         self.schedule = inner.schedule
+        #: faults caught by *this wrapper* (the registry aggregates per
+        #: variant name across wrappers); exported by pipeline tracers.
+        self.failure_events = 0
+
+    def _record(self, reason: str) -> None:
+        self.failure_events += 1
+        record_kernel_failure(self.inner.name, reason)
 
     # -- preprocessing -------------------------------------------------
 
@@ -75,9 +82,8 @@ class GuardedKernel(Kernel):
         try:
             inner_data = self.inner.preprocess(csr)
         except Exception as exc:
-            record_kernel_failure(
-                self.inner.name,
-                f"preprocess raised {type(exc).__name__}: {exc}",
+            self._record(
+                f"preprocess raised {type(exc).__name__}: {exc}"
             )
             inner_data = None
         return GuardedData(inner_data, csr, values_finite)
@@ -111,9 +117,7 @@ class GuardedKernel(Kernel):
                 else self.inner.apply(data.inner, x)
             )
         except Exception as exc:
-            record_kernel_failure(
-                name, f"apply raised {type(exc).__name__}: {exc}"
-            )
+            self._record(f"apply raised {type(exc).__name__}: {exc}")
             return None
         expected = (
             (data.csr.nrows, np.asarray(x).shape[1])
@@ -122,8 +126,8 @@ class GuardedKernel(Kernel):
         )
         if not isinstance(out, np.ndarray) or out.shape != expected:
             got = getattr(out, "shape", type(out).__name__)
-            record_kernel_failure(
-                name, f"apply returned shape {got}, expected {expected}"
+            self._record(
+                f"apply returned shape {got}, expected {expected}"
             )
             return None
         if (
@@ -131,8 +135,8 @@ class GuardedKernel(Kernel):
             and bool(np.isfinite(x).all())
             and not bool(np.isfinite(out).all())
         ):
-            record_kernel_failure(
-                name, "apply produced non-finite output from finite input"
+            self._record(
+                "apply produced non-finite output from finite input"
             )
             return None
         return out

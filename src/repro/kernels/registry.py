@@ -34,6 +34,7 @@ __all__ = [
     "QUARANTINE_THRESHOLD",
     "record_kernel_failure",
     "kernel_failure_count",
+    "kernel_failure_counts",
     "kernel_failure_log",
     "is_quarantined",
     "quarantined_kernel_names",
@@ -168,6 +169,12 @@ def record_kernel_failure(name: str, reason: str) -> int:
 def kernel_failure_count(name: str) -> int:
     with _quarantine_lock:
         return len(_kernel_failures.get(str(name), ()))
+
+
+def kernel_failure_counts() -> dict[str, int]:
+    """Snapshot of every variant's failure count (telemetry export)."""
+    with _quarantine_lock:
+        return {name: len(log) for name, log in _kernel_failures.items()}
 
 
 def kernel_failure_log(name: str) -> tuple[str, ...]:

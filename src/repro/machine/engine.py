@@ -108,6 +108,19 @@ class RunResult:
             return 1.0
         return float(self.thread_seconds.max() / mean)
 
+    def summary(self) -> dict:
+        """Compact JSON-friendly digest, used by telemetry spans."""
+        return {
+            "kernel": self.kernel_name,
+            "machine": self.machine_codename,
+            "nthreads": int(self.nthreads),
+            "seconds": float(self.seconds),
+            "gflops": float(self.gflops),
+            "bandwidth_gbs": float(self.bandwidth_gbs),
+            "imbalance": float(self.imbalance),
+            "schedule": self.schedule_kind,
+        }
+
 
 class ExecutionEngine:
     """Simulates kernel executions on one :class:`MachineSpec`."""

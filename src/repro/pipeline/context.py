@@ -1,0 +1,72 @@
+"""The state threaded through one staged planning run.
+
+A :class:`PipelineContext` carries the inputs of a run (matrix, target
+machine, classifier, pool, guard flag) and accumulates each stage's
+products (features, classes, selected optimizations, configured kernel,
+converted data, modeled costs). Stages communicate exclusively through
+the context — no stage holds private state — which is what makes them
+independently swappable and traceable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..formats import CSRMatrix
+from ..machine import MachineSpec
+from .tracer import Tracer
+
+__all__ = ["PipelineContext"]
+
+
+@dataclass
+class PipelineContext:
+    """Everything one planning/execution run reads and writes.
+
+    Inputs are set by the caller; the remaining fields start empty and
+    are filled by the stages (see :mod:`repro.pipeline.stages` for
+    which stage owns which field).
+    """
+
+    # -- inputs --------------------------------------------------------
+    csr: CSRMatrix
+    machine: MachineSpec
+    classifier: object
+    classifier_kind: str
+    pool: object
+    guard: bool = False
+    #: convert the execution format for real (``optimize``) or only
+    #: charge its modeled cost (``plan``)?
+    materialize: bool = True
+    nthreads: int | None = None
+    tracer: Tracer = field(default_factory=Tracer)
+
+    # -- produced by the stages ---------------------------------------
+    features: object | None = None          # analyze
+    classes: object | None = None           # classify
+    decision_seconds: float = 0.0           # classify (modeled cost)
+    optimizations: tuple[str, ...] = ()     # select
+    kernel: object | None = None            # select
+    quarantined: tuple[str, ...] = ()       # select (substituted names)
+    setup_seconds: float = 0.0              # transform (modeled cost)
+    data: object | None = None              # transform (when materialized)
+    result: object | None = None            # execute (RunResult)
+
+    def build_plan(self):
+        """Freeze the run's decisions into an :class:`OptimizationPlan`."""
+        from ..core.optimizer import OptimizationPlan
+
+        if self.classes is None or self.kernel is None:
+            raise RuntimeError(
+                "pipeline incomplete: classify and select must run "
+                "before a plan can be built"
+            )
+        return OptimizationPlan(
+            classes=self.classes,
+            optimizations=self.optimizations,
+            kernel_name=self.kernel.name,
+            decision_seconds=self.decision_seconds,
+            setup_seconds=self.setup_seconds,
+            classifier_kind=self.classifier_kind,
+            quarantined=self.quarantined,
+        )

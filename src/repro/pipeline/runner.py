@@ -1,0 +1,123 @@
+"""One instrumented runner for every experiment and benchmark loop.
+
+Before the pipeline refactor, each ``experiments/fig*``/``table*``
+driver and each ``benchmarks/`` module carried its own copy of the
+``engine.run(kernel, kernel.preprocess(csr))`` idiom and its own
+wall-clock repetition loop. :class:`PipelineRunner` centralizes both:
+
+* :meth:`simulate` — preprocess + simulated execution of one kernel on
+  one matrix (transform + execute spans when a tracer is attached);
+* :meth:`run_optimized` — full staged planning (via an
+  :class:`~repro.core.optimizer.AdaptiveSpMV`) followed by simulated
+  execution, one trace for the whole journey;
+* :meth:`time_seconds` — the wall-clock repetition loop (median or
+  best-of) used wherever *real* elapsed time is the observable.
+
+Every measurement taken through the runner can be traced, so the same
+instrumentation that backs ``repro-spmv trace`` covers the experiment
+drivers for free.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..formats import CSRMatrix
+from ..machine import ExecutionEngine, MachineSpec, RunResult
+from .context import PipelineContext
+from .stages import ExecuteStage
+from .tracer import Tracer
+
+__all__ = ["PipelineRunner"]
+
+
+class PipelineRunner:
+    """Instrumented execution harness bound to one target machine."""
+
+    def __init__(self, machine: MachineSpec | None = None,
+                 nthreads: int | None = None,
+                 tracer: Tracer | None = None):
+        self.machine = machine
+        self.nthreads = nthreads
+        self.tracer = tracer if tracer is not None else Tracer()
+
+    def _require_machine(self) -> MachineSpec:
+        if self.machine is None:
+            raise ValueError("this runner was built without a machine")
+        return self.machine
+
+    # -- simulated execution -------------------------------------------
+
+    def simulate(self, kernel, csr: CSRMatrix, data=None,
+                 partition=None, label: str | None = None) -> RunResult:
+        """Preprocess (unless ``data`` is given) and simulate ``kernel``.
+
+        The canonical replacement for the old ad-hoc
+        ``engine.run(kernel, kernel.preprocess(csr))`` pattern; records
+        transform and execute spans on the runner's tracer.
+        """
+        machine = self._require_machine()
+        name = label or kernel.name
+        if data is None:
+            with self.tracer.span("transform", kernel=name) as span:
+                data = kernel.preprocess(csr)
+                span.charged_seconds = kernel.preprocessing_seconds(
+                    csr, machine
+                )
+        engine = ExecutionEngine(machine, self.nthreads)
+        with self.tracer.span("execute", kernel=name) as span:
+            result = engine.run(kernel, data, partition)
+            span.set(**result.summary())
+        return result
+
+    def run_optimized(self, optimizer, csr: CSRMatrix):
+        """Plan + preprocess + simulate through an ``AdaptiveSpMV``.
+
+        Returns ``(operator, result)``; the optimizer's stage spans and
+        the execute span land on this runner's tracer.
+        """
+        operator = optimizer.optimize(csr, tracer=self.tracer)
+        ctx = PipelineContext(
+            csr=csr,
+            machine=operator.machine,
+            classifier=None,
+            classifier_kind=operator.plan.classifier_kind,
+            pool=None,
+            nthreads=self.nthreads,
+            tracer=self.tracer,
+        )
+        ctx.kernel = operator.kernel
+        ctx.data = operator.data
+        stage = ExecuteStage()
+        with self.tracer.span(stage.name) as span:
+            stage.run(ctx, span)
+            span.set(cache_hit=operator.plan.cache_hit)
+        return operator, ctx.result
+
+    # -- wall-clock timing ---------------------------------------------
+
+    def time_seconds(self, fn, repeats: int = 3, reduce: str = "median",
+                     label: str | None = None) -> float:
+        """Time ``repeats`` calls of ``fn()`` and reduce to one number.
+
+        ``reduce`` is ``"median"`` (robust default) or ``"min"``
+        (best-of, for scaling studies where noise only adds). The whole
+        loop is recorded as one span carrying every repetition.
+        """
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        if reduce not in ("median", "min"):
+            raise ValueError("reduce must be 'median' or 'min'")
+        times: list[float] = []
+        with self.tracer.span("time", label=label or getattr(
+                fn, "__name__", "callable"), reduce=reduce) as span:
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                fn()
+                times.append(time.perf_counter() - t0)
+            span.set(repeats=repeats, seconds=times)
+        if reduce == "min":
+            return float(np.min(times))
+        return float(np.median(times))

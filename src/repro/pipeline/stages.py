@@ -1,0 +1,184 @@
+"""The five pipeline stages: analyze → classify → select → transform → execute.
+
+Each stage is a small object with a ``name`` and a ``run(ctx, span)``
+method that reads and writes only the :class:`~repro.pipeline.context.
+PipelineContext`. The split mirrors the paper's staged decision process
+(and the analyze/decide/transform extension point of SMAT-style
+autotuners):
+
+==========  ========================================================
+stage        responsibility
+==========  ========================================================
+analyze      extract structural features of the matrix
+classify     detect bottleneck classes (+ modeled decision cost)
+select       map classes to pool optimizations, configure the kernel,
+             substitute quarantined variants, apply the guard wrapper
+transform    charge the modeled setup cost; materialize the execution
+             format when the run asks for it
+execute      simulate one kernel execution on the target machine
+==========  ========================================================
+
+``AdaptiveSpMV`` composes the first four (see
+:func:`default_planning_stages`); the :class:`~repro.pipeline.runner.
+PipelineRunner` appends :class:`ExecuteStage`. Custom stages plug in by
+matching the :class:`Stage` protocol — replace, reorder or extend via
+``AdaptiveSpMV(stages=...)``.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from ..kernels import baseline_kernel, is_quarantined
+from ..kernels.registry import kernel_failure_count
+from ..machine import ExecutionEngine
+from ..matrices.features import extract_features
+from .context import PipelineContext
+from .tracer import Span
+
+__all__ = [
+    "Stage",
+    "AnalyzeStage",
+    "ClassifyStage",
+    "SelectStage",
+    "TransformStage",
+    "ExecuteStage",
+    "default_planning_stages",
+    "run_stages",
+]
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """One step of the staged planning pipeline."""
+
+    name: str
+
+    def run(self, ctx: PipelineContext, span: Span) -> None:
+        """Advance ``ctx``; record telemetry on ``span``."""
+        ...  # pragma: no cover - protocol
+
+
+class AnalyzeStage:
+    """Extract the structural features every later stage decides from."""
+
+    name = "analyze"
+
+    def run(self, ctx: PipelineContext, span: Span) -> None:
+        ctx.features = extract_features(
+            ctx.csr,
+            llc_bytes=ctx.machine.llc_bytes,
+            line_elems=ctx.machine.line_elems,
+        )
+        span.set(
+            nrows=ctx.csr.nrows,
+            ncols=ctx.csr.ncols,
+            nnz=ctx.csr.nnz,
+        )
+
+
+class ClassifyStage:
+    """Detect bottleneck classes; the paper's decision step."""
+
+    name = "classify"
+
+    def run(self, ctx: PipelineContext, span: Span) -> None:
+        ctx.classes, ctx.decision_seconds = (
+            ctx.classifier.classify_with_cost(ctx.csr)
+        )
+        span.charged_seconds = ctx.decision_seconds
+        from ..core.classes import format_classes
+
+        span.set(
+            classifier=ctx.classifier_kind,
+            classes=format_classes(ctx.classes),
+            decision_seconds=ctx.decision_seconds,
+        )
+
+
+class SelectStage:
+    """Map classes to pool optimizations and configure the kernel.
+
+    Quarantined variants are substituted by the baseline (recorded both
+    in the plan and the span), and the guard wrapper is applied here so
+    downstream stages see the kernel exactly as it will run.
+    """
+
+    name = "select"
+
+    def run(self, ctx: PipelineContext, span: Span) -> None:
+        ctx.optimizations = ctx.pool.select(ctx.classes, ctx.features)
+        kernel = (
+            ctx.pool.kernel_for(ctx.classes, ctx.features)
+            if ctx.optimizations
+            else baseline_kernel()
+        )
+        quarantined: tuple[str, ...] = ()
+        if ctx.optimizations and is_quarantined(kernel.name):
+            # The selected variant is known-bad: plan the reference
+            # kernel instead and record what was skipped.
+            quarantined = (kernel.name,)
+            kernel = baseline_kernel()
+        if ctx.guard:
+            from ..guard.guarded import GuardedKernel
+
+            kernel = GuardedKernel(kernel)
+        ctx.kernel = kernel
+        ctx.quarantined = quarantined
+        span.set(
+            optimizations=list(ctx.optimizations),
+            kernel=kernel.name,
+            guard=ctx.guard,
+            quarantine_substitutions=list(quarantined),
+            guard_fault_counts={
+                name: kernel_failure_count(name)
+                for name in quarantined + (kernel.name,)
+                if kernel_failure_count(name)
+            },
+        )
+
+
+class TransformStage:
+    """Preprocess: charge the modeled setup cost, convert when asked."""
+
+    name = "transform"
+
+    def run(self, ctx: PipelineContext, span: Span) -> None:
+        ctx.setup_seconds = ctx.kernel.preprocessing_seconds(
+            ctx.csr, ctx.machine
+        )
+        if ctx.materialize:
+            ctx.data = ctx.kernel.preprocess(ctx.csr)
+        span.charged_seconds = ctx.setup_seconds
+        span.set(
+            setup_seconds=ctx.setup_seconds,
+            materialized=bool(ctx.materialize),
+        )
+
+
+class ExecuteStage:
+    """Simulate one kernel execution on the target machine."""
+
+    name = "execute"
+
+    def run(self, ctx: PipelineContext, span: Span) -> None:
+        if ctx.data is None:
+            ctx.data = ctx.kernel.preprocess(ctx.csr)
+        engine = ExecutionEngine(ctx.machine, ctx.nthreads)
+        ctx.result = engine.run(ctx.kernel, ctx.data)
+        span.set(**ctx.result.summary())
+
+
+def default_planning_stages() -> tuple[Stage, ...]:
+    """The planning pipeline of :class:`~repro.core.optimizer.
+    AdaptiveSpMV`: everything except execution."""
+    return (AnalyzeStage(), ClassifyStage(), SelectStage(),
+            TransformStage())
+
+
+def run_stages(stages, ctx: PipelineContext) -> PipelineContext:
+    """Run ``stages`` over ``ctx`` in order, one traced span each."""
+    for stage in stages:
+        with ctx.tracer.span(stage.name) as span:
+            stage.run(ctx, span)
+    return ctx

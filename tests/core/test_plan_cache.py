@@ -141,8 +141,15 @@ def test_cache_eviction_counter_and_repr(rng):
         ))
     assert cache.evictions == 2
     assert "evictions=2" in repr(cache)
+    # clear() only drops entries; the counters (and repr) stay truthful
     cache.clear()
+    assert len(cache) == 0
+    assert cache.evictions == 2
+    assert "evictions=2" in repr(cache)
+    cache.reset_stats()
     assert cache.evictions == 0
+    assert cache.hits == 0 and cache.misses == 0
+    assert cache.invalidations == 0
 
 
 def test_cache_invalidate(small_random_csr):

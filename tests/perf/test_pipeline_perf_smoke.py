@@ -1,0 +1,60 @@
+"""Perf smoke (``-m perf_smoke``): warm-start overhead is ~zero.
+
+Runs the instrumented :class:`~repro.pipeline.runner.PipelineRunner`
+over two generator matrices and asserts the plan-cache warm start
+eliminates the modeled optimizer overhead entirely — the property the
+persisted-cache feature exists for. Kept tiny so
+``python -m pytest -m perf_smoke -q`` is a sub-second gate.
+"""
+
+import pytest
+
+from repro.core import AdaptiveSpMV, PlanCache
+from repro.machine import KNL
+from repro.matrices.generators import banded, random_uniform
+from repro.pipeline import PipelineRunner
+
+MATRICES = (
+    ("banded", lambda: banded(1500, nnz_per_row=8, bandwidth=24, seed=11)),
+    ("scattered", lambda: random_uniform(1500, nnz_per_row=10.0, seed=12)),
+)
+
+
+@pytest.mark.perf_smoke
+@pytest.mark.parametrize("name,make", MATRICES, ids=[m[0] for m in MATRICES])
+def test_warm_start_overhead_is_zero(name, make):
+    csr = make()
+    opt = AdaptiveSpMV(KNL, classifier="profile")
+
+    cold_runner = PipelineRunner(KNL)
+    op_cold, r_cold = cold_runner.run_optimized(opt, csr)
+    assert not op_cold.plan.cache_hit
+    assert op_cold.plan.total_overhead_seconds > 0.0
+    assert r_cold.gflops > 0.0
+
+    warm_runner = PipelineRunner(KNL)
+    op_warm, r_warm = warm_runner.run_optimized(opt, csr)
+    assert op_warm.plan.cache_hit
+    assert op_warm.plan.total_overhead_seconds == 0.0
+    assert warm_runner.tracer.total_charged_seconds() == 0.0
+    # same decision, same simulated performance
+    assert op_warm.plan.kernel_name == op_cold.plan.kernel_name
+    assert r_warm.gflops == pytest.approx(r_cold.gflops)
+
+
+@pytest.mark.perf_smoke
+def test_persisted_warm_start_overhead_is_zero(tmp_path):
+    csr = MATRICES[0][1]()
+    cold = AdaptiveSpMV(KNL, classifier="profile")
+    cold.optimize(csr)
+    path = tmp_path / "plans.json"
+    cold.plan_cache.save(path)
+
+    warm = AdaptiveSpMV(
+        KNL, classifier="profile", plan_cache=PlanCache.load(path)
+    )
+    runner = PipelineRunner(KNL)
+    op, result = runner.run_optimized(warm, csr)
+    assert op.plan.cache_hit
+    assert op.plan.decision_seconds == 0.0
+    assert result.gflops > 0.0

@@ -1,0 +1,67 @@
+"""The serializable plan IR: round-trip, schema versioning, stability."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    PLAN_SCHEMA_VERSION,
+    AdaptiveSpMV,
+    OptimizationPlan,
+)
+from repro.core.classes import Bottleneck
+from repro.machine import KNL
+
+
+def test_plan_round_trips_through_the_ir(small_random_csr):
+    opt = AdaptiveSpMV(KNL, classifier="profile", plan_cache=False)
+    plan = opt.plan(small_random_csr)
+    payload = plan.to_dict()
+    assert payload["schema_version"] == PLAN_SCHEMA_VERSION
+    revived = OptimizationPlan.from_dict(payload)
+    assert revived == plan
+    assert revived.total_overhead_seconds == plan.total_overhead_seconds
+
+
+def test_plan_ir_is_pure_json():
+    plan = OptimizationPlan(
+        classes=frozenset({Bottleneck.MB, Bottleneck.IMB}),
+        optimizations=("compression", "decomposition"),
+        kernel_name="csr+delta+split",
+        decision_seconds=0.01,
+        setup_seconds=0.02,
+        classifier_kind="profile-guided",
+        quarantined=("csr+bad",),
+    )
+    text = json.dumps(plan.to_dict())
+    assert OptimizationPlan.from_dict(json.loads(text)) == plan
+
+
+def test_plan_ir_classes_are_sorted_and_stable():
+    plan = OptimizationPlan(
+        classes=frozenset({Bottleneck.IMB, Bottleneck.MB}),
+        optimizations=(),
+        kernel_name="csr",
+        decision_seconds=0.0,
+        setup_seconds=0.0,
+        classifier_kind="profile-guided",
+    )
+    payload = plan.to_dict()
+    assert payload["classes"] == sorted(payload["classes"])
+
+
+def test_plan_ir_rejects_unknown_schema_version():
+    payload = OptimizationPlan(
+        classes=frozenset(),
+        optimizations=(),
+        kernel_name="csr",
+        decision_seconds=0.0,
+        setup_seconds=0.0,
+        classifier_kind="profile-guided",
+    ).to_dict()
+    payload["schema_version"] = PLAN_SCHEMA_VERSION + 1
+    with pytest.raises(ValueError, match="unsupported plan schema"):
+        OptimizationPlan.from_dict(payload)
+    del payload["schema_version"]
+    with pytest.raises(ValueError, match="unsupported plan schema"):
+        OptimizationPlan.from_dict(payload)

@@ -1,0 +1,87 @@
+"""Span/Tracer semantics and the exported JSON schema."""
+
+import json
+
+import pytest
+
+from repro.pipeline import TRACE_SCHEMA_VERSION, Tracer
+from repro.pipeline.tracer import _jsonable
+
+
+def test_span_context_manager_measures_wall_time():
+    tracer = Tracer()
+    with tracer.span("analyze", nnz=42) as span:
+        span.set(extra="yes")
+        span.charged_seconds = 0.5
+    assert len(tracer) == 1
+    (s,) = tracer.spans
+    assert s.name == "analyze"
+    assert s.wall_seconds >= 0.0
+    assert s.charged_seconds == 0.5
+    assert s.attributes == {"nnz": 42, "extra": "yes"}
+
+
+def test_span_is_recorded_even_when_the_stage_raises():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("classify"):
+            raise RuntimeError("boom")
+    assert tracer.stage_names() == ("classify",)
+
+
+def test_record_appends_premeasured_span():
+    tracer = Tracer()
+    tracer.record("cache", wall_seconds=0.25, charged_seconds=0.75,
+                  hit=True)
+    assert tracer.total_wall_seconds() == 0.25
+    assert tracer.total_charged_seconds() == 0.75
+    assert tracer.find("cache")[0].attributes["hit"] is True
+
+
+def test_totals_sum_over_all_spans():
+    tracer = Tracer()
+    tracer.record("a", charged_seconds=1.0)
+    tracer.record("b", charged_seconds=2.0)
+    tracer.record("a", charged_seconds=4.0)
+    assert tracer.total_charged_seconds() == 7.0
+    assert len(tracer.find("a")) == 2
+    assert tracer.stage_names() == ("a", "b", "a")
+
+
+def test_payload_schema_and_export(tmp_path):
+    tracer = Tracer()
+    with tracer.span("select", optimizations=("unrolling",)):
+        pass
+    payload = tracer.to_payload()
+    assert payload["schema_version"] == TRACE_SCHEMA_VERSION
+    assert set(payload) == {
+        "schema_version", "total_wall_seconds",
+        "total_charged_seconds", "spans",
+    }
+    (span,) = payload["spans"]
+    assert set(span) == {
+        "name", "wall_seconds", "charged_seconds", "attributes",
+    }
+
+    path = tmp_path / "trace.json"
+    tracer.export(path)
+    assert json.loads(path.read_text()) == payload
+    # the whole payload must be pure JSON
+    json.dumps(payload)
+
+
+def test_jsonable_coerces_exotic_attribute_values():
+    class Odd:
+        def __repr__(self):
+            return "<odd>"
+
+    out = _jsonable({
+        "t": (1, 2),
+        "s": frozenset(["x"]),
+        "obj": Odd(),
+        "nested": {"k": [Odd()]},
+    })
+    json.dumps(out)
+    assert out["t"] == [1, 2]
+    assert out["s"] == ["x"]
+    assert out["obj"] == "<odd>"

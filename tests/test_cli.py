@@ -82,6 +82,68 @@ def test_analyze_reports_cache_hit(capsys):
     assert "repeat build: cache_hit=True, overhead 0.00 ms" in out
 
 
+def test_plan_explain_charges_sum_to_plan_overhead(capsys):
+    assert main(["plan", "consph", "--platform", "knl",
+                 "--scale", "0.05", "--explain"]) == 0
+    out = capsys.readouterr().out
+    assert "cache_hit=False" in out
+    # one row per planning stage in pipeline order
+    for stage in ("cache", "analyze", "classify", "select", "transform"):
+        assert f"\n{stage}" in out or out.startswith(stage)
+    import re
+
+    m = re.search(
+        r"stage charges sum to ([0-9.]+) ms; "
+        r"plan total overhead is ([0-9.]+) ms",
+        out,
+    )
+    assert m, out
+    assert m.group(1) == m.group(2)
+
+
+def test_plan_cache_roundtrip_across_invocations(tmp_path, capsys):
+    cache = tmp_path / "plans.json"
+    assert main(["plan", "consph", "--platform", "knl", "--scale",
+                 "0.05", "--save-cache", str(cache)]) == 0
+    first = capsys.readouterr().out
+    assert "cache_hit=False" in first
+    assert cache.exists()
+
+    assert main(["plan", "consph", "--platform", "knl", "--scale",
+                 "0.05", "--cache", str(cache), "--explain"]) == 0
+    second = capsys.readouterr().out
+    assert "loaded plan cache" in second
+    assert "cache_hit=True" in second
+
+
+def test_trace_emits_schema_versioned_spans(capsys):
+    assert main(["trace", "consph", "--platform", "knl",
+                 "--scale", "0.05"]) == 0
+    import json
+
+    from repro.pipeline import TRACE_SCHEMA_VERSION
+
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema_version"] == TRACE_SCHEMA_VERSION
+    names = [s["name"] for s in payload["spans"]]
+    for stage in ("analyze", "classify", "select", "transform",
+                  "execute"):
+        assert stage in names
+    execute = payload["spans"][names.index("execute")]
+    assert execute["attributes"]["gflops"] > 0
+
+
+def test_trace_writes_file(tmp_path, capsys):
+    out_path = tmp_path / "trace.json"
+    assert main(["trace", "consph", "--platform", "knl",
+                 "--scale", "0.05", "--output", str(out_path)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    import json
+
+    payload = json.loads(out_path.read_text())
+    assert payload["spans"]
+
+
 def test_validate_accepts_good_file(tmp_path, capsys, banded_csr):
     from repro.matrices import write_matrix_market
 
