@@ -1,0 +1,23 @@
+#!/bin/sh
+# Full local gate: lint + tier-1 tests + perf smoke.
+#
+# One command that runs everything CI checks, in the order that fails
+# fastest: the lint gate (scripts/lint.sh: ruff, or a byte-compile
+# fallback on minimal images), then the tier-1 pytest suite, then the
+# tests/perf smoke pass (benchmark-harness schema and the
+# zero-allocation steady-state asserts). Exit status is the first
+# failing stage's.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "check: stage 1/3 lint"
+sh scripts/lint.sh
+
+echo "check: stage 2/3 tier-1 tests"
+PYTHONPATH=src python -m pytest -x -q --ignore=tests/perf
+
+echo "check: stage 3/3 perf smoke"
+PYTHONPATH=src python -m pytest -x -q tests/perf
+
+echo "check: all stages passed"

@@ -40,6 +40,7 @@ from ..kernels import (
     merged_pool_kernel,
 )
 from ..machine import ExecutionEngine, MachineSpec, RunResult
+from ..memory import Workspace
 from ..pipeline import (
     PipelineContext,
     Tracer,
@@ -106,12 +107,23 @@ def _values_digest(csr: CSRMatrix) -> str:
 @dataclass
 class _CacheEntry:
     """One cached decision: the plan, the configured kernel, and (when
-    values also match) the converted execution-format data."""
+    values also match) the converted execution-format data.
+
+    The entry also owns a :class:`~repro.memory.workspace.Workspace`
+    arena so repeat service of the same matrix reuses the scratch
+    buffers of previous applies — the numeric plane of a cache hit runs
+    allocation-free in steady state."""
 
     plan: "OptimizationPlan"
     kernel: ConfiguredSpMV
     data: object | None
     values_digest: str | None
+    workspace: Workspace | None = None
+
+    def arena(self) -> Workspace:
+        if self.workspace is None:
+            self.workspace = Workspace()
+        return self.workspace
 
 
 def _kernel_from_plan(plan: "OptimizationPlan"):
@@ -349,19 +361,31 @@ class OptimizedSpMV:
     machine: MachineSpec
     plan: OptimizationPlan
     partition: Partition | None = field(default=None, repr=False)
+    #: scratch arena reused across applies; shared with the plan-cache
+    #: entry that produced this operator, so repeat service keeps its
+    #: warm buffers.
+    workspace: Workspace = field(default_factory=Workspace, repr=False)
 
     @property
     def shape(self) -> tuple[int, int]:
         return self.csr.shape
 
-    def matvec(self, x: np.ndarray) -> np.ndarray:
-        """Numerically compute ``A @ x`` through the optimized kernel."""
-        return self.kernel.apply(self.data, x)
+    def matvec(self, x: np.ndarray,
+               out: np.ndarray | None = None) -> np.ndarray:
+        """Numerically compute ``A @ x`` through the optimized kernel.
 
-    def matmat(self, X: np.ndarray) -> np.ndarray:
+        With ``out=`` the result lands in the caller-owned buffer and,
+        after a warm-up apply populates the operator's workspace, the
+        steady state allocates no new arrays."""
+        return self.kernel.apply(self.data, x, out=out,
+                                 workspace=self.workspace)
+
+    def matmat(self, X: np.ndarray,
+               out: np.ndarray | None = None) -> np.ndarray:
         """Batched ``A @ X`` for ``X`` of shape ``(ncols, k)`` through
         the kernel's multi-RHS plane."""
-        return self.kernel.apply_multi(self.data, X)
+        return self.kernel.apply_multi(self.data, X, out=out,
+                                       workspace=self.workspace)
 
     def __matmul__(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x)
@@ -575,6 +599,7 @@ class AdaptiveSpMV:
                 return OptimizedSpMV(
                     csr=csr, kernel=kernel, data=entry.data,
                     machine=self.machine, plan=plan,
+                    workspace=entry.arena(),
                 )
             # Same structure, new values: the decision is free but the
             # format conversion must re-run and stays charged.
@@ -589,17 +614,18 @@ class AdaptiveSpMV:
             return OptimizedSpMV(
                 csr=csr, kernel=kernel, data=data,
                 machine=self.machine, plan=plan,
+                workspace=entry.arena(),
             )
         ctx = self._run_stages(csr, materialize=True, tracer=own_tracer)
         plan = ctx.build_plan()
+        entry = _CacheEntry(plan, ctx.kernel, ctx.data, digest)
         if key is not None:
-            self.plan_cache.store(
-                key, _CacheEntry(plan, ctx.kernel, ctx.data, digest)
-            )
+            self.plan_cache.store(key, entry)
         return OptimizedSpMV(
             csr=csr,
             kernel=ctx.kernel,
             data=ctx.data,
             machine=self.machine,
             plan=plan,
+            workspace=entry.arena(),
         )

@@ -12,6 +12,7 @@ and validates the schema on every CI run.
 from __future__ import annotations
 
 import json
+import tracemalloc
 
 import numpy as np
 
@@ -19,9 +20,16 @@ from ..formats import CSRMatrix
 from ..kernels import baseline_kernel, merged_pool_kernel
 from ..kernels.bcsr import BCSRSpMV
 from ..kernels.sellcs import SellCSigmaSpMV
+from ..memory import Workspace
 from .common import ExperimentTable, PipelineRunner, geometric_mean
 
-__all__ = ["run", "bench_kernels", "BENCH_SCHEMA_KEYS", "ROW_SCHEMA_KEYS"]
+__all__ = [
+    "run",
+    "bench_kernels",
+    "measure_steady_allocs",
+    "BENCH_SCHEMA_KEYS",
+    "ROW_SCHEMA_KEYS",
+]
 
 #: Required top-level keys of ``BENCH_kernels.json``.
 BENCH_SCHEMA_KEYS = frozenset(
@@ -31,10 +39,48 @@ BENCH_SCHEMA_KEYS = frozenset(
 #: Required keys of every per-kernel measurement row.
 ROW_SCHEMA_KEYS = frozenset(
     {"kernel", "matrix", "nrows", "nnz", "single_gflops",
-     "batched_gflops", "speedup"}
+     "batched_gflops", "speedup", "single_allocs",
+     "single_steady_peak_bytes", "workspace_hit_rate"}
 )
 
-SCHEMA_VERSION = 1
+#: v2: single-RHS timings run through the zero-allocation ``out=`` /
+#: ``workspace=`` plane and every row records the steady-state
+#: allocation telemetry of one post-warmup apply.
+SCHEMA_VERSION = 2
+
+
+def measure_steady_allocs(fn, *, min_block_bytes: int = 4096) -> dict:
+    """Allocation telemetry of one ``fn()`` call under ``tracemalloc``.
+
+    Returns ``{"count": retained array-sized blocks, "peak_bytes":
+    transient high-water mark over the pre-call level}``. ``count``
+    sees blocks still alive after the call (reused workspace buffers
+    never appear); ``peak_bytes`` also catches temporaries that were
+    freed before returning, so a zero-allocation steady state shows
+    ``count == 0`` *and* a peak well under one iteration vector.
+    """
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    try:
+        before = tracemalloc.take_snapshot()
+        current, _ = tracemalloc.get_traced_memory()
+        tracemalloc.reset_peak()
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+        after = tracemalloc.take_snapshot()
+    finally:
+        if not was_tracing:
+            tracemalloc.stop()
+    count = sum(
+        1
+        for stat in after.compare_to(before, "traceback")
+        if stat.size_diff >= min_block_bytes
+    )
+    return {
+        "count": int(count),
+        "peak_bytes": int(max(peak - current, 0)),
+    }
 
 
 def _bench_matrices(scale: float) -> list[tuple[str, CSRMatrix]]:
@@ -74,7 +120,13 @@ def bench_kernels(
     sequential ``apply`` calls and the batched number times one
     ``apply_multi`` over the same ``rhs`` vectors — identical flop
     counts, so the speedup column is a pure throughput ratio.
-    Returns the ``BENCH_kernels.json`` payload as a dict.
+
+    Since schema v2 the single-RHS loop runs through the
+    zero-allocation plane (caller-owned ``out=`` buffer plus a
+    :class:`~repro.memory.Workspace` arena), and each row carries the
+    steady-state telemetry: retained-allocation count and transient
+    peak bytes of one post-warmup apply, and the arena's hit rate over
+    the timed loop. Returns the ``BENCH_kernels.json`` payload.
     """
     if rhs < 1:
         raise ValueError("rhs must be >= 1")
@@ -89,20 +141,31 @@ def bench_kernels(
     for mat_name, csr in matrices:
         X = rng.standard_normal((csr.ncols, rhs))
         flops = 2.0 * csr.nnz * rhs
+        y = np.empty(csr.nrows)
         for kern_name, kernel in kernels:
             data = kernel.preprocess(csr)
-            # Warm up both planes (primes lazy layouts and caches).
-            kernel.apply(data, X[:, 0])
+            workspace = Workspace()
+            # Warm up both planes (primes lazy layouts, plan caches
+            # and the workspace arena).
+            kernel.apply(data, X[:, 0], out=y, workspace=workspace)
             kernel.apply_multi(data, X[:, :1])
+
+            allocs = measure_steady_allocs(
+                lambda: kernel.apply(data, X[:, 0], out=y,
+                                     workspace=workspace)
+            )
 
             def single():
                 for j in range(rhs):
-                    kernel.apply(data, X[:, j])
+                    kernel.apply(data, X[:, j], out=y,
+                                 workspace=workspace)
 
+            workspace.reset_stats()
             t_single = runner.time_seconds(
                 single, repeats=repeats,
                 label=f"single:{kern_name}:{mat_name}",
             )
+            hit_rate = workspace.hit_rate
             t_batched = runner.time_seconds(
                 lambda: kernel.apply_multi(data, X), repeats=repeats,
                 label=f"batched:{kern_name}:{mat_name}",
@@ -115,6 +178,9 @@ def bench_kernels(
                 "single_gflops": flops / t_single / 1e9,
                 "batched_gflops": flops / t_batched / 1e9,
                 "speedup": t_single / t_batched,
+                "single_allocs": allocs["count"],
+                "single_steady_peak_bytes": allocs["peak_bytes"],
+                "workspace_hit_rate": hit_rate,
             })
 
     return {
@@ -153,12 +219,14 @@ def run(
         experiment_id="bench-batched",
         title=f"single-RHS vs batched SpMV throughput ({rhs} RHS)",
         headers=("kernel", "matrix", "nrows", "nnz",
-                 "single Gflop/s", "batched Gflop/s", "speedup"),
+                 "single Gflop/s", "batched Gflop/s", "speedup",
+                 "steady allocs", "ws hit rate"),
     )
     for r in payload["kernels"]:
         table.add(
             r["kernel"], r["matrix"], r["nrows"], r["nnz"],
             r["single_gflops"], r["batched_gflops"], r["speedup"],
+            r["single_allocs"], r["workspace_hit_rate"],
         )
     table.note(
         f"geomean batched speedup {payload['geomean_speedup']:.2f}x "

@@ -21,7 +21,74 @@ import numpy as np
 
 from ..errors import ValidationReport
 
-__all__ = ["SparseFormat"]
+__all__ = ["SparseFormat", "check_out_buffer", "contiguous_operand",
+           "gather_index"]
+
+
+def gather_index(indices: np.ndarray) -> np.ndarray:
+    """Return ``indices`` as a C-contiguous ``np.intp`` array.
+
+    ``np.take`` casts any other index dtype to ``intp`` on every call,
+    allocating an index-sized temporary each time — formats cache the
+    result of this function next to their (compressed, e.g. int32)
+    index arrays so steady-state gathers are allocation-free. When
+    ``indices`` is already contiguous ``intp`` the input is returned
+    unchanged (no copy).
+    """
+    return np.ascontiguousarray(indices, dtype=np.intp)
+
+
+def contiguous_operand(x: np.ndarray, workspace,
+                       name: str) -> np.ndarray:
+    """Return ``x`` as a C-contiguous operand for the gather kernels.
+
+    ``np.take`` silently copies a non-contiguous source (e.g. a column
+    view of a multi-RHS block) into a fresh buffer on every call. A
+    contiguous ``x`` passes through untouched; otherwise the copy goes
+    through the workspace arena when one is supplied, keeping the
+    steady state allocation-free. Values are unchanged either way, so
+    results stay bit-identical.
+    """
+    if x.flags.c_contiguous:
+        return x
+    if workspace is None:
+        return np.ascontiguousarray(x)
+    buf = workspace.buffer(name, x.shape)
+    np.copyto(buf, x)
+    return buf
+
+
+def check_out_buffer(out: np.ndarray, shape: tuple, *,
+                     operand: np.ndarray | None = None,
+                     name: str = "out") -> np.ndarray:
+    """Validate a caller-owned output buffer for the ``out=`` plane.
+
+    The buffer must be a C-contiguous float64 ndarray of exactly
+    ``shape``, and must not alias ``operand`` (the kernel writes
+    ``out`` while still reading the operand, so overlap would corrupt
+    the result). The alias check uses :func:`numpy.may_share_memory`
+    (cheap bounds test): disjoint slices of one base array are
+    conservatively rejected.
+    """
+    if not isinstance(out, np.ndarray):
+        raise TypeError(
+            f"{name} must be a numpy.ndarray, got {type(out).__name__}"
+        )
+    if out.dtype != np.float64:
+        raise TypeError(f"{name} must be float64, got {out.dtype}")
+    if out.shape != tuple(shape):
+        raise ValueError(
+            f"{name} must have shape {tuple(shape)}, got {out.shape}"
+        )
+    if not out.flags.c_contiguous:
+        raise ValueError(f"{name} must be C-contiguous")
+    if not out.flags.writeable:
+        raise ValueError(f"{name} must be writeable")
+    if operand is not None and np.may_share_memory(out, operand):
+        raise ValueError(
+            f"{name} must not share memory with the input operand"
+        )
+    return out
 
 
 class SparseFormat(abc.ABC):
@@ -86,10 +153,18 @@ class SparseFormat(abc.ABC):
         """Number of stored (explicit) nonzero elements."""
 
     @abc.abstractmethod
-    def matvec(self, x: np.ndarray) -> np.ndarray:
-        """Return ``A @ x`` as a new float64 vector."""
+    def matvec(self, x: np.ndarray, out: np.ndarray | None = None,
+               workspace=None) -> np.ndarray:
+        """Return ``A @ x`` as a float64 vector.
 
-    def matmat(self, X: np.ndarray) -> np.ndarray:
+        ``out`` (validated with :func:`check_out_buffer`) receives the
+        result in place; ``workspace`` (a
+        :class:`repro.memory.Workspace`) supplies the kernel's scratch
+        intermediates. Both default to None, which allocates as before.
+        """
+
+    def matmat(self, X: np.ndarray, out: np.ndarray | None = None,
+               workspace=None) -> np.ndarray:
         """Return ``A @ X`` for a dense block of right-hand sides.
 
         ``X`` has shape ``(ncols, k)``; the result has shape
@@ -101,9 +176,13 @@ class SparseFormat(abc.ABC):
         batched kernel.
         """
         X = self._check_matmat_input(X)
-        out = np.empty((self.nrows, X.shape[1]), dtype=np.float64)
+        if out is None:
+            out = np.empty((self.nrows, X.shape[1]), dtype=np.float64)
+        else:
+            out = check_out_buffer(out, (self.nrows, X.shape[1]),
+                                   operand=X)
         for j in range(X.shape[1]):
-            out[:, j] = self.matvec(X[:, j])
+            out[:, j] = self.matvec(X[:, j], workspace=workspace)
         return out
 
     def _check_matmat_input(self, X: np.ndarray) -> np.ndarray:

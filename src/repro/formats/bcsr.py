@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from .._validation import check_positive
-from .base import SparseFormat
+from .base import SparseFormat, check_out_buffer, contiguous_operand
 from .csr import CSRMatrix
 
 __all__ = ["BCSRMatrix"]
@@ -36,10 +36,10 @@ class BCSRMatrix(SparseFormat):
     format_name = "bcsr"
 
     __slots__ = ("block_rowptr", "block_colind", "block_values", "block",
-                 "_shape", "_nnz")
+                 "_shape", "_nnz", "_plan")
 
     def __init__(self, block_rowptr, block_colind, block_values, block,
-                 shape, nnz):
+                 shape, nnz, *, trusted=False):
         self.block_rowptr = np.ascontiguousarray(block_rowptr, dtype=np.int64)
         self.block_colind = np.ascontiguousarray(block_colind, dtype=np.int32)
         self.block_values = np.ascontiguousarray(block_values,
@@ -47,13 +47,15 @@ class BCSRMatrix(SparseFormat):
         self.block = int(block)
         self._shape = (int(shape[0]), int(shape[1]))
         self._nnz = int(nnz)
-        nblocks = self.block_colind.size
-        if self.block_values.shape != (nblocks, self.block, self.block):
-            raise ValueError(
-                "block_values must have shape (nblocks, block, block)"
-            )
-        if self.block_rowptr[-1] != nblocks:
-            raise ValueError("block_rowptr must end at nblocks")
+        self._plan = None
+        if not trusted:
+            nblocks = self.block_colind.size
+            if self.block_values.shape != (nblocks, self.block, self.block):
+                raise ValueError(
+                    "block_values must have shape (nblocks, block, block)"
+                )
+            if self.block_rowptr[-1] != nblocks:
+                raise ValueError("block_rowptr must end at nblocks")
 
     # -- construction ----------------------------------------------------
 
@@ -92,7 +94,8 @@ class BCSRMatrix(SparseFormat):
         np.cumsum(block_rowptr, out=block_rowptr)
         # uniq is sorted by key = brow*nbcols + bcol, i.e. already in
         # block-row-major order; no further permutation needed.
-        return cls(block_rowptr, u_bcol, values, r, csr.shape, csr.nnz)
+        return cls(block_rowptr, u_bcol, values, r, csr.shape, csr.nnz,
+                   trusted=True)
 
     def to_csr(self) -> CSRMatrix:
         """Back to CSR, dropping the explicit fill-in zeros."""
@@ -178,35 +181,79 @@ class BCSRMatrix(SparseFormat):
         """Stored / logical elements (1.0 = perfect blocks)."""
         return self.stored_elements / max(self._nnz, 1)
 
-    def matvec(self, x: np.ndarray) -> np.ndarray:
+    def _block_plan(self):
+        """Cached structure-derived apply plan:
+        ``(xidx, seg, pad_cols, nbrows)`` where ``xidx[b]`` are the
+        ``block`` padded-x indices gathered by block ``b`` and ``seg``
+        is the block-row :class:`~repro.formats.csr._SegmentPlan`."""
+        if self._plan is None:
+            from .csr import _SegmentPlan
+
+            r = self.block
+            xidx = (
+                self.block_colind.astype(np.int64)[:, None] * r
+                + np.arange(r, dtype=np.int64)[None, :]
+            )
+            self._plan = (
+                xidx,
+                _SegmentPlan(self.block_rowptr),
+                -(-self.ncols // r) * r,
+                int(self.block_rowptr.size - 1),
+            )
+        return self._plan
+
+    def matvec(self, x: np.ndarray, out: np.ndarray | None = None,
+               workspace=None) -> np.ndarray:
+        """``y = A @ x``: each dense block multiplies its ``block``-wide
+        slab of a padded x, and per-block-row sums reduce with
+        ``np.add.reduceat`` (blocks are stored block-row-major)."""
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.ncols,):
             raise ValueError(f"x must have shape ({self.ncols},), got {x.shape}")
         r = self.block
-        # pad x up to the block grid
-        pad_cols = self.block_colind.size and (
-            -(-self.ncols // r) * r
-        ) or self.ncols
-        xp = np.zeros(max(pad_cols, self.ncols), dtype=np.float64)
-        xp[: self.ncols] = x
-        nbrows = self.block_rowptr.size - 1
-        yp = np.zeros(nbrows * r, dtype=np.float64)
-        if self.nblocks:
-            xblocks = xp[
-                (self.block_colind.astype(np.int64)[:, None] * r
-                 + np.arange(r)[None, :])
-            ]                                        # (nblocks, r)
-            contrib = np.einsum("bij,bj->bi", self.block_values, xblocks)
-            brow = np.repeat(
-                np.arange(nbrows, dtype=np.int64),
-                np.diff(self.block_rowptr),
-            )
-            np.add.at(
-                yp.reshape(nbrows, r), brow, contrib
-            )
-        return yp[: self.nrows]
+        n = self.nrows
+        x = contiguous_operand(x, workspace, "bcsr.x")
+        xidx, seg, pad_cols, nbrows = self._block_plan()
 
-    def matmat(self, X: np.ndarray) -> np.ndarray:
+        def scratch(name, shape):
+            if workspace is not None:
+                return workspace.buffer("bcsr." + name, shape)
+            return np.empty(shape, dtype=np.float64)
+
+        if out is None:
+            y = np.empty(n, dtype=np.float64)
+        else:
+            y = check_out_buffer(out, (n,), operand=x)
+        yp = y if nbrows * r == n else scratch("yp", nbrows * r)
+        if not self.nblocks:
+            yp[:] = 0.0
+        else:
+            if pad_cols == self.ncols:
+                xp = x
+            else:
+                xp = scratch("xp", pad_cols)
+                xp[: self.ncols] = x
+                xp[self.ncols:] = 0.0
+            xblocks = scratch("xblocks", (self.nblocks, r))
+            np.take(xp, xidx, out=xblocks, mode="clip")
+            contrib = scratch("contrib", (self.nblocks, r))
+            np.einsum("bij,bj->bi", self.block_values, xblocks,
+                      out=contrib)
+            ypv = yp.reshape(nbrows, r)
+            if not seg.has_empty:
+                np.add.reduceat(contrib, seg.starts, axis=0, out=ypv)
+            else:
+                ypv[:] = 0.0
+                if seg.nonempty.size:
+                    ypv[seg.nonempty] = np.add.reduceat(
+                        contrib, seg.starts, axis=0
+                    )
+        if yp is not y:
+            y[:] = yp[:n]
+        return y
+
+    def matmat(self, X: np.ndarray, out: np.ndarray | None = None,
+               workspace=None) -> np.ndarray:
         """Batched ``Y = A @ X``: each dense block multiplies a
         ``(block, k)`` slab of ``X`` (a small dense GEMM), and the
         per-block-row reduction uses ``np.add.reduceat`` because blocks
@@ -219,18 +266,37 @@ class BCSRMatrix(SparseFormat):
         X = self._check_matmat_input(X)
         r = self.block
         k = X.shape[1]
-        nbrows = self.block_rowptr.size - 1
-        Yp = np.zeros((nbrows * r, k), dtype=np.float64)
+        n = self.nrows
+        xidx, seg, pad_cols, nbrows = self._block_plan()
+
+        def scratch(name, shape):
+            if workspace is not None:
+                return workspace.buffer("bcsr." + name, shape)
+            return np.empty(shape, dtype=np.float64)
+
+        if out is None:
+            Y = np.empty((n, k), dtype=np.float64)
+        else:
+            Y = check_out_buffer(out, (n, k), operand=X)
+        Yp = Y if nbrows * r == n else scratch("Yp", (nbrows * r, k))
         if not (self.nblocks and k):
-            return Yp[: self.nrows]
-        pad_cols = -(-self.ncols // r) * r
-        Xp = np.zeros((pad_cols, k), dtype=np.float64)
-        Xp[: self.ncols] = X
+            Yp[:] = 0.0
+            if Yp is not Y:
+                Y[:] = Yp[:n]
+            return Y
+        if pad_cols == self.ncols:
+            Xp = X
+        else:
+            Xp = scratch("Xp", (pad_cols, k))
+            Xp[: self.ncols] = X
+            Xp[self.ncols:] = 0.0
         Yview = Yp.reshape(nbrows, r, k)
-        bcol = self.block_colind.astype(np.int64)
-        blocks_per_row = np.diff(self.block_rowptr)
-        has_empty = bool(blocks_per_row.min(initial=1) == 0)
+        blocks_per_row = seg.lengths
+        has_empty = seg.has_empty
         tile = max(_TILE_ELEMS // max(r * k, 1), 1)
+        max_blocks = int(min(self.nblocks, max(tile, seg.maxlen)))
+        xb = scratch("xblocks3", (max_blocks, r, k))
+        cb = scratch("contrib3", (max_blocks, r, k))
         s0 = 0
         while s0 < nbrows:
             s1 = int(np.searchsorted(
@@ -241,11 +307,13 @@ class BCSRMatrix(SparseFormat):
             lo = int(self.block_rowptr[s0])
             hi = int(self.block_rowptr[s1])
             if hi > lo:
-                xblocks = Xp[
-                    (bcol[lo:hi, None] * r + np.arange(r)[None, :])
-                ]                                    # (blocks, r, k)
-                contrib = np.einsum(
-                    "bij,bjk->bik", self.block_values[lo:hi], xblocks
+                xblocks = xb[: hi - lo]
+                np.take(Xp, xidx[lo:hi], axis=0, out=xblocks,
+                        mode="clip")
+                contrib = cb[: hi - lo]
+                np.einsum(
+                    "bij,bjk->bik", self.block_values[lo:hi], xblocks,
+                    out=contrib,
                 )
                 if not has_empty:
                     np.add.reduceat(
@@ -260,8 +328,14 @@ class BCSRMatrix(SparseFormat):
                             self.block_rowptr[s0:s1][nonempty] - lo,
                             axis=0,
                         )
+                    empty = np.flatnonzero(blocks_per_row[s0:s1] == 0)
+                    Yview[s0 + empty] = 0.0
+            else:
+                Yview[s0:s1] = 0.0
             s0 = s1
-        return Yp[: self.nrows]
+        if Yp is not Y:
+            Y[:] = Yp[:n]
+        return Y
 
     def index_nbytes(self) -> int:
         return int(self.block_rowptr.nbytes + self.block_colind.nbytes)

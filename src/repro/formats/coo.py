@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from .._validation import check_shape_2d, ensure_1d
-from .base import SparseFormat
+from .base import SparseFormat, check_out_buffer, contiguous_operand
 
 __all__ = ["COOMatrix"]
 
@@ -30,44 +30,53 @@ class COOMatrix(SparseFormat):
     sum_duplicates : bool
         When True (default), duplicate ``(row, col)`` entries are summed
         during canonicalization, mirroring ``scipy.sparse`` semantics.
+    trusted : bool
+        When True, the triplets are taken as already canonical (sorted
+        by ``(row, col)``, duplicates merged, indices in bounds) and the
+        O(nnz log nnz) canonicalization pass is skipped. Only for arrays
+        produced by our own converters.
     """
 
     format_name = "coo"
 
-    __slots__ = ("rows", "cols", "values", "_shape")
+    __slots__ = ("rows", "cols", "values", "_shape", "_seg")
 
-    def __init__(self, rows, cols, values, shape, *, sum_duplicates: bool = True):
+    def __init__(self, rows, cols, values, shape, *,
+                 sum_duplicates: bool = True, trusted: bool = False):
         self._shape = check_shape_2d("shape", shape)
         rows = ensure_1d("rows", rows, dtype=np.int64)
         cols = ensure_1d("cols", cols, dtype=np.int64)
         values = ensure_1d("values", values, dtype=np.float64)
-        if not (rows.size == cols.size == values.size):
-            raise ValueError(
-                "rows, cols and values must have equal length, got "
-                f"{rows.size}, {cols.size}, {values.size}"
-            )
-        if rows.size:
-            if rows.min(initial=0) < 0 or rows.max(initial=0) >= self._shape[0]:
-                raise ValueError("row index out of bounds")
-            if cols.min(initial=0) < 0 or cols.max(initial=0) >= self._shape[1]:
-                raise ValueError("column index out of bounds")
-        # Canonicalize: sort by (row, col), optionally merging duplicates.
-        order = np.lexsort((cols, rows))
-        rows, cols, values = rows[order], cols[order], values[order]
-        if sum_duplicates and rows.size:
-            key_change = np.empty(rows.size, dtype=bool)
-            key_change[0] = True
-            key_change[1:] = (np.diff(rows) != 0) | (np.diff(cols) != 0)
-            group = np.cumsum(key_change) - 1
-            ngroups = int(group[-1]) + 1
-            merged = np.zeros(ngroups, dtype=np.float64)
-            np.add.at(merged, group, values)
-            rows = rows[key_change]
-            cols = cols[key_change]
-            values = merged
+        if not trusted:
+            if not (rows.size == cols.size == values.size):
+                raise ValueError(
+                    "rows, cols and values must have equal length, got "
+                    f"{rows.size}, {cols.size}, {values.size}"
+                )
+            if rows.size:
+                if rows.min(initial=0) < 0 or rows.max(initial=0) >= self._shape[0]:
+                    raise ValueError("row index out of bounds")
+                if cols.min(initial=0) < 0 or cols.max(initial=0) >= self._shape[1]:
+                    raise ValueError("column index out of bounds")
+            # Canonicalize: sort by (row, col), optionally merging
+            # duplicates.
+            order = np.lexsort((cols, rows))
+            rows, cols, values = rows[order], cols[order], values[order]
+            if sum_duplicates and rows.size:
+                key_change = np.empty(rows.size, dtype=bool)
+                key_change[0] = True
+                key_change[1:] = (np.diff(rows) != 0) | (np.diff(cols) != 0)
+                group = np.cumsum(key_change) - 1
+                ngroups = int(group[-1]) + 1
+                merged = np.zeros(ngroups, dtype=np.float64)
+                np.add.at(merged, group, values)
+                rows = rows[key_change]
+                cols = cols[key_change]
+                values = merged
         self.rows = rows
         self.cols = cols
         self.values = values
+        self._seg = None
 
     # -- SparseFormat interface ---------------------------------------
 
@@ -101,15 +110,58 @@ class COOMatrix(SparseFormat):
                     f"{p} (row {int(self.rows[p])}, col {int(self.cols[p])})",
                 )
 
-    def matvec(self, x: np.ndarray) -> np.ndarray:
+    def _row_segments(self):
+        """Cached row-run segmentation of the canonical entry order:
+        ``(seg_rows, segptr, plan)`` where run ``s`` covers entries
+        ``segptr[s]:segptr[s+1]`` of output row ``seg_rows[s]``."""
+        if self._seg is None:
+            from .csr import _SegmentPlan
+
+            change = np.empty(self.rows.size, dtype=bool)
+            if self.rows.size:
+                change[0] = True
+                change[1:] = np.diff(self.rows) != 0
+            starts = np.flatnonzero(change)
+            segptr = np.append(starts, self.rows.size)
+            self._seg = (self.rows[starts], segptr, _SegmentPlan(segptr))
+        return self._seg
+
+    def matvec(self, x: np.ndarray, out: np.ndarray | None = None,
+               workspace=None) -> np.ndarray:
+        """``y = A @ x`` via the cached row-run segmentation.
+
+        Canonical sorting makes each output row a contiguous run, so
+        the same reduceat reduction as CSR applies — no ``np.add.at``
+        scatter is needed.
+        """
+        from .csr import _segment_sums_into
+
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.ncols,):
             raise ValueError(f"x must have shape ({self.ncols},), got {x.shape}")
-        y = np.zeros(self.nrows, dtype=np.float64)
-        np.add.at(y, self.rows, self.values * x[self.cols])
+        if out is None:
+            y = np.zeros(self.nrows, dtype=np.float64)
+        else:
+            y = check_out_buffer(out, (self.nrows,), operand=x)
+            y[:] = 0.0
+        if self.values.size == 0:
+            return y
+        x = contiguous_operand(x, workspace, "coo.x")
+        seg_rows, segptr, plan = self._row_segments()
+        if workspace is not None:
+            products = workspace.buffer("coo.products", self.values.size)
+            sums = workspace.buffer("coo.sums", seg_rows.size)
+        else:
+            products = np.empty(self.values.size, dtype=np.float64)
+            sums = np.empty(seg_rows.size, dtype=np.float64)
+        np.take(x, self.cols, out=products, mode="clip")
+        np.multiply(products, self.values, out=products)
+        _segment_sums_into(products, plan, sums, workspace, "coo")
+        y[seg_rows] = sums
         return y
 
-    def matmat(self, X: np.ndarray) -> np.ndarray:
+    def matmat(self, X: np.ndarray, out: np.ndarray | None = None,
+               workspace=None) -> np.ndarray:
         """Batched ``Y = A @ X``: one gather pass serves all columns.
 
         Entries are canonically sorted by ``(row, col)``, so runs of
@@ -117,20 +169,27 @@ class COOMatrix(SparseFormat):
         batched kernel applies directly — no scatter-add over ``k``-wide
         rows is needed.
         """
-        X = self._check_matmat_input(X)
-        Y = np.zeros((self.nrows, X.shape[1]), dtype=np.float64)
-        if self.values.size == 0 or X.shape[1] == 0:
-            return Y
         from .csr import _segment_matmat
 
-        change = np.empty(self.rows.size, dtype=bool)
-        change[0] = True
-        change[1:] = np.diff(self.rows) != 0
-        starts = np.flatnonzero(change)
-        segptr = np.append(starts, self.rows.size)
-        Y[self.rows[starts]] = _segment_matmat(
-            self.cols, self.values, segptr, X, starts.size
+        X = self._check_matmat_input(X)
+        k = X.shape[1]
+        if out is None:
+            Y = np.zeros((self.nrows, k), dtype=np.float64)
+        else:
+            Y = check_out_buffer(out, (self.nrows, k), operand=X)
+            Y[:] = 0.0
+        if self.values.size == 0 or k == 0:
+            return Y
+        seg_rows, segptr, plan = self._row_segments()
+        if workspace is not None:
+            sums = workspace.buffer("coo.matmat.sums", (seg_rows.size, k))
+        else:
+            sums = np.empty((seg_rows.size, k), dtype=np.float64)
+        _segment_matmat(
+            self.cols, self.values, segptr, X, seg_rows.size,
+            out=sums, workspace=workspace, plan=plan, name="coo",
         )
+        Y[seg_rows] = sums
         return Y
 
     def index_nbytes(self) -> int:

@@ -18,8 +18,18 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import SparseFormat
-from .csr import CSRMatrix, _segment_matmat, _segment_sums
+from .base import (
+    SparseFormat,
+    check_out_buffer,
+    contiguous_operand,
+    gather_index,
+)
+from .csr import (
+    CSRMatrix,
+    _SegmentPlan,
+    _segment_matmat,
+    _segment_sums_into,
+)
 
 __all__ = ["DecomposedCSR", "default_long_row_threshold"]
 
@@ -53,10 +63,13 @@ class DecomposedCSR(SparseFormat):
         "long_values",
         "threshold",
         "_shape",
+        "_longseg",
+        "_ipcols",
+        "_iprows",
     )
 
     def __init__(self, short, long_rows, long_rowptr, long_colind, long_values,
-                 threshold, shape):
+                 threshold, shape, *, trusted=False):
         self.short = short
         self.long_rows = np.ascontiguousarray(long_rows, dtype=np.int64)
         self.long_rowptr = np.ascontiguousarray(long_rowptr, dtype=np.int64)
@@ -64,10 +77,16 @@ class DecomposedCSR(SparseFormat):
         self.long_values = np.ascontiguousarray(long_values, dtype=np.float64)
         self.threshold = int(threshold)
         self._shape = (int(shape[0]), int(shape[1]))
-        if self.long_rowptr.size != self.long_rows.size + 1:
-            raise ValueError("long_rowptr must have len(long_rows) + 1 entries")
-        if self.long_colind.size != self.long_values.size:
-            raise ValueError("long_colind and long_values must match")
+        self._longseg = None
+        self._ipcols = None
+        self._iprows = None
+        if not trusted:
+            if self.long_rowptr.size != self.long_rows.size + 1:
+                raise ValueError(
+                    "long_rowptr must have len(long_rows) + 1 entries"
+                )
+            if self.long_colind.size != self.long_values.size:
+                raise ValueError("long_colind and long_values must match")
 
     @classmethod
     def from_csr(cls, csr: CSRMatrix, threshold: int | None = None,
@@ -89,7 +108,8 @@ class DecomposedCSR(SparseFormat):
         short_rowptr = np.zeros(csr.nrows + 1, dtype=np.int64)
         np.cumsum(short_counts, out=short_rowptr[1:])
         short = CSRMatrix(
-            short_rowptr, csr.colind[keep], csr.values[keep], csr.shape
+            short_rowptr, csr.colind[keep], csr.values[keep], csr.shape,
+            trusted=True,
         )
 
         long_counts = row_nnz[long_rows]
@@ -103,6 +123,7 @@ class DecomposedCSR(SparseFormat):
             csr.values[~keep],
             threshold,
             csr.shape,
+            trusted=True,
         )
 
     def to_csr(self) -> CSRMatrix:
@@ -123,7 +144,7 @@ class DecomposedCSR(SparseFormat):
         values[out_is_long] = self.long_values
         colind[~out_is_long] = self.short.colind
         values[~out_is_long] = self.short.values
-        return CSRMatrix(rowptr, colind, values, self._shape)
+        return CSRMatrix(rowptr, colind, values, self._shape, trusted=True)
 
     # -- SparseFormat interface ----------------------------------------
 
@@ -187,25 +208,86 @@ class DecomposedCSR(SparseFormat):
     def long_nnz(self) -> int:
         return int(self.long_values.size)
 
-    def matvec(self, x: np.ndarray) -> np.ndarray:
+    def _long_plan(self) -> _SegmentPlan:
+        if self._longseg is None:
+            self._longseg = _SegmentPlan(self.long_rowptr)
+        return self._longseg
+
+    def long_cols_gather(self) -> np.ndarray:
+        """``long_colind`` as contiguous ``intp`` (cached), so the
+        per-apply gather never re-casts the int32 indices."""
+        if self._ipcols is None:
+            self._ipcols = gather_index(self.long_colind)
+        return self._ipcols
+
+    def long_rows_gather(self) -> np.ndarray:
+        """``long_rows`` as contiguous ``intp`` (cached), for the
+        alloc-free read-modify-write of the long-row outputs."""
+        if self._iprows is None:
+            self._iprows = gather_index(self.long_rows)
+        return self._iprows
+
+    def matvec(self, x: np.ndarray, out: np.ndarray | None = None,
+               workspace=None) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
-        y = self.short.matvec(x)
-        if self.long_rows.size:
-            products = self.long_values * x[self.long_colind]
-            y[self.long_rows] += _segment_sums(products, self.long_rowptr)
+        if out is not None:
+            out = check_out_buffer(out, (self.nrows,), operand=x)
+        # One contiguous copy serves both the short CSR kernel (which
+        # would otherwise make its own) and the long-row gather below.
+        x = contiguous_operand(x, workspace, "csr.matvec.x")
+        y = self.short.matvec(x, out=out, workspace=workspace)
+        nlong = self.long_rows.size
+        if nlong:
+            if workspace is not None:
+                products = workspace.buffer("dcsr.long.products",
+                                            self.long_values.size)
+                sums = workspace.buffer("dcsr.long.sums", nlong)
+                rowbuf = workspace.buffer("dcsr.long.rows", nlong)
+            else:
+                products = np.empty(self.long_values.size, dtype=np.float64)
+                sums = np.empty(nlong, dtype=np.float64)
+                rowbuf = np.empty(nlong, dtype=np.float64)
+            np.take(x, self.long_cols_gather(), out=products,
+                    mode="clip")
+            np.multiply(products, self.long_values, out=products)
+            _segment_sums_into(products, self._long_plan(), sums,
+                               workspace, "dcsr.long")
+            # y[long_rows] += sums without a fancy-index temporary
+            # (long_rows is duplicate-free by construction).
+            rows = self.long_rows_gather()
+            np.take(y, rows, out=rowbuf, mode="clip")
+            np.add(rowbuf, sums, out=rowbuf)
+            y[rows] = rowbuf
         return y
 
-    def matmat(self, X: np.ndarray) -> np.ndarray:
+    def matmat(self, X: np.ndarray, out: np.ndarray | None = None,
+               workspace=None) -> np.ndarray:
         """Batched two-part apply: short part via the CSR batched
         kernel, long rows via the same segmented kernel on their
         contiguous storage."""
         X = self._check_matmat_input(X)
-        Y = self.short.matmat(X)
-        if self.long_rows.size:
-            Y[self.long_rows] += _segment_matmat(
-                self.long_colind, self.long_values, self.long_rowptr,
-                X, self.long_rows.size,
+        k = X.shape[1]
+        if out is not None:
+            out = check_out_buffer(out, (self.nrows, k), operand=X)
+        Y = self.short.matmat(X, out=out, workspace=workspace)
+        nlong = self.long_rows.size
+        if nlong:
+            if workspace is not None:
+                sums = workspace.buffer("dcsr.long.matmat.sums", (nlong, k))
+                rowbuf = workspace.buffer("dcsr.long.matmat.rows", (nlong, k))
+            else:
+                sums = np.empty((nlong, k), dtype=np.float64)
+                rowbuf = np.empty((nlong, k), dtype=np.float64)
+            _segment_matmat(
+                self.long_cols_gather(), self.long_values,
+                self.long_rowptr, X, nlong, out=sums,
+                workspace=workspace, plan=self._long_plan(),
+                name="dcsr.long",
             )
+            rows = self.long_rows_gather()
+            np.take(Y, rows, axis=0, out=rowbuf, mode="clip")
+            np.add(rowbuf, sums, out=rowbuf)
+            Y[rows] = rowbuf
         return Y
 
     def index_nbytes(self) -> int:

@@ -67,9 +67,11 @@ class DeltaCSR(SparseFormat):
         "values",
         "width",
         "_shape",
+        "_decoded",
     )
 
-    def __init__(self, rowptr, deltas, reset_pos, reset_col, values, shape, width):
+    def __init__(self, rowptr, deltas, reset_pos, reset_col, values, shape,
+                 width, *, trusted=False):
         self.width = check_in("width", int(width), (8, 16))
         self.rowptr = np.ascontiguousarray(rowptr, dtype=np.int64)
         self.deltas = np.ascontiguousarray(deltas, dtype=_DTYPE[self.width])
@@ -77,16 +79,20 @@ class DeltaCSR(SparseFormat):
         self.reset_col = np.ascontiguousarray(reset_col, dtype=np.int32)
         self.values = np.ascontiguousarray(values, dtype=np.float64)
         self._shape = (int(shape[0]), int(shape[1]))
-        if self.deltas.size != self.values.size:
-            raise ValueError("deltas and values must have equal length")
-        if self.reset_pos.size != self.reset_col.size:
-            raise ValueError("reset_pos and reset_col must have equal length")
-        if self.values.size and (
-            self.reset_pos.size == 0 or self.reset_pos[0] != 0
-        ):
-            raise ValueError("the first nonzero must be a reset point")
-        if np.any(np.diff(self.reset_pos) <= 0):
-            raise ValueError("reset_pos must be strictly increasing")
+        self._decoded = None
+        if not trusted:
+            if self.deltas.size != self.values.size:
+                raise ValueError("deltas and values must have equal length")
+            if self.reset_pos.size != self.reset_col.size:
+                raise ValueError(
+                    "reset_pos and reset_col must have equal length"
+                )
+            if self.values.size and (
+                self.reset_pos.size == 0 or self.reset_pos[0] != 0
+            ):
+                raise ValueError("the first nonzero must be a reset point")
+            if np.any(np.diff(self.reset_pos) <= 0):
+                raise ValueError("reset_pos must be strictly increasing")
 
     # -- construction --------------------------------------------------
 
@@ -146,6 +152,22 @@ class DeltaCSR(SparseFormat):
             self.values.copy(),
             self._shape,
         )
+
+    def _decoded_csr(self) -> CSRMatrix:
+        """Cached CSR view for the numeric plane.
+
+        Decoding is structure-only, so it happens once; the view
+        *shares* ``rowptr`` and ``values`` with this matrix (no copy),
+        so in-place value updates stay visible. The cost plane still
+        charges the decode per apply — this cache only removes the
+        redundant recomputation from the repeat-execution path.
+        """
+        if self._decoded is None:
+            self._decoded = CSRMatrix(
+                self.rowptr, self.decode_colind(), self.values,
+                self._shape, trusted=True,
+            )
+        return self._decoded
 
     # -- SparseFormat interface ----------------------------------------
 
@@ -209,16 +231,20 @@ class DeltaCSR(SparseFormat):
             check_index_bounds(report, "decoded-colind", decoded,
                                self.ncols)
 
-    def matvec(self, x: np.ndarray) -> np.ndarray:
-        # Numeric plane: decode then run the CSR kernel. The cost plane
-        # (repro.kernels.compressed) charges the decode to compute cycles
-        # and the smaller delta array to memory traffic.
-        return self.to_csr().matvec(x)
+    def matvec(self, x: np.ndarray, out: np.ndarray | None = None,
+               workspace=None) -> np.ndarray:
+        # Numeric plane: run the CSR kernel on the cached decoded view.
+        # The cost plane (repro.kernels.compressed) charges the decode
+        # to compute cycles and the smaller delta array to memory
+        # traffic.
+        return self._decoded_csr().matvec(x, out=out, workspace=workspace)
 
-    def matmat(self, X: np.ndarray) -> np.ndarray:
-        # Decode once for the whole batch: the per-apply decode cost is
-        # amortized over all k right-hand sides.
-        return self.to_csr().matmat(X)
+    def matmat(self, X: np.ndarray, out: np.ndarray | None = None,
+               workspace=None) -> np.ndarray:
+        # One decode serves the whole batch (and, via the cache, every
+        # later apply): the decode cost is amortized over all k
+        # right-hand sides and all repeat executions.
+        return self._decoded_csr().matmat(X, out=out, workspace=workspace)
 
     def index_nbytes(self) -> int:
         reset_bytes = self.reset_pos.nbytes + self.reset_col.nbytes

@@ -24,8 +24,18 @@ from __future__ import annotations
 import numpy as np
 
 from .._validation import check_positive
-from .base import SparseFormat
-from .csr import CSRMatrix, _segment_matmat, _segment_sums
+from .base import (
+    SparseFormat,
+    check_out_buffer,
+    contiguous_operand,
+    gather_index,
+)
+from .csr import (
+    CSRMatrix,
+    _SegmentPlan,
+    _segment_matmat,
+    _segment_sums_into,
+)
 
 __all__ = ["SellCSigmaMatrix"]
 
@@ -39,7 +49,7 @@ class SellCSigmaMatrix(SparseFormat):
                  "row_perm", "chunk", "sigma", "_shape", "_nnz", "_rm")
 
     def __init__(self, chunk_ptr, chunk_len, colind, values, row_perm,
-                 chunk, sigma, shape, nnz):
+                 chunk, sigma, shape, nnz, *, trusted=False):
         self.chunk_ptr = np.ascontiguousarray(chunk_ptr, dtype=np.int64)
         self.chunk_len = np.ascontiguousarray(chunk_len, dtype=np.int64)
         self.colind = np.ascontiguousarray(colind, dtype=np.int32)
@@ -50,11 +60,12 @@ class SellCSigmaMatrix(SparseFormat):
         self._shape = (int(shape[0]), int(shape[1]))
         self._nnz = int(nnz)
         self._rm = None
-        nchunks = self.chunk_len.size
-        if self.chunk_ptr.size != nchunks + 1:
-            raise ValueError("chunk_ptr must have nchunks + 1 entries")
-        if self.colind.size != self.values.size:
-            raise ValueError("colind and values must have equal length")
+        if not trusted:
+            nchunks = self.chunk_len.size
+            if self.chunk_ptr.size != nchunks + 1:
+                raise ValueError("chunk_ptr must have nchunks + 1 entries")
+            if self.colind.size != self.values.size:
+                raise ValueError("colind and values must have equal length")
 
     @classmethod
     def from_csr(cls, csr: CSRMatrix, chunk: int = 8,
@@ -105,7 +116,7 @@ class SellCSigmaMatrix(SparseFormat):
                 colind[slots] = csr.colind[lo:hi]
                 values[slots] = csr.values[lo:hi]
         return cls(chunk_ptr, chunk_len, colind, values, perm, C, sigma,
-                   csr.shape, csr.nnz)
+                   csr.shape, csr.nnz, trusted=True)
 
     # -- SparseFormat interface ------------------------------------------
 
@@ -186,13 +197,14 @@ class SellCSigmaMatrix(SparseFormat):
         """Lazily regroup the column-major chunk storage into per-slot
         row-major segments.
 
-        Returns ``(rm_colind, rm_values, rm_ptr)`` where segment ``s``
-        of the ``nchunks * C`` padded output rows covers
-        ``rm_*[rm_ptr[s]:rm_ptr[s+1]]``. The permutation sorts slots by
-        ``(chunk, lane)`` with a stable key, turning the lane-interleaved
-        chunk layout into contiguous rows that a single segmented
-        reduction can consume — this removes the per-chunk Python loop
-        from both ``matvec`` and ``matmat``.
+        Returns ``(rm_colind, rm_values, rm_ptr, rm_plan)`` where
+        segment ``s`` of the ``nchunks * C`` padded output rows covers
+        ``rm_*[rm_ptr[s]:rm_ptr[s+1]]`` and ``rm_plan`` is the cached
+        :class:`~repro.formats.csr._SegmentPlan` over ``rm_ptr``. The
+        permutation sorts slots by ``(chunk, lane)`` with a stable key,
+        turning the lane-interleaved chunk layout into contiguous rows
+        that a single segmented reduction can consume — this removes
+        the per-chunk Python loop from both ``matvec`` and ``matmat``.
         """
         if self._rm is None:
             C = self.chunk
@@ -208,31 +220,60 @@ class SellCSigmaMatrix(SparseFormat):
             order = np.argsort(chunk_of_slot * C + lane, kind="stable")
             rm_ptr = np.zeros(self.nchunks * C + 1, dtype=np.int64)
             np.cumsum(np.repeat(self.chunk_len, C), out=rm_ptr[1:])
-            self._rm = (self.colind[order], self.values[order], rm_ptr)
+            # intp colind: keeps the per-apply gather cast-free.
+            self._rm = (gather_index(self.colind[order]),
+                        self.values[order], rm_ptr,
+                        _SegmentPlan(rm_ptr))
         return self._rm
 
-    def matvec(self, x: np.ndarray) -> np.ndarray:
+    def matvec(self, x: np.ndarray, out: np.ndarray | None = None,
+               workspace=None) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.ncols,):
             raise ValueError(f"x must have shape ({self.ncols},), got {x.shape}")
+        if out is None:
+            y = np.empty(self.nrows, dtype=np.float64)
+        else:
+            y = check_out_buffer(out, (self.nrows,), operand=x)
+        x = contiguous_operand(x, workspace, "sellcs.x")
         # padded slots have colind 0 and value 0.0: they contribute
         # value * x[0] == 0, so no masking is needed
-        rm_colind, rm_values, rm_ptr = self._row_major()
-        y_perm = _segment_sums(rm_values * x[rm_colind], rm_ptr)
-        y = np.zeros(self.nrows, dtype=np.float64)
+        rm_colind, rm_values, rm_ptr, rm_plan = self._row_major()
+        npad = self.nchunks * self.chunk
+        if workspace is not None:
+            products = workspace.buffer("sellcs.products", rm_values.size)
+            y_perm = workspace.buffer("sellcs.y_perm", npad)
+        else:
+            products = np.empty(rm_values.size, dtype=np.float64)
+            y_perm = np.empty(npad, dtype=np.float64)
+        np.take(x, rm_colind, out=products, mode="clip")
+        np.multiply(products, rm_values, out=products)
+        _segment_sums_into(products, rm_plan, y_perm, workspace, "sellcs")
+        # row_perm is a full permutation: every output row is written.
         y[self.row_perm] = y_perm[: self.nrows]
         return y
 
-    def matmat(self, X: np.ndarray) -> np.ndarray:
+    def matmat(self, X: np.ndarray, out: np.ndarray | None = None,
+               workspace=None) -> np.ndarray:
         """Batched apply on the row-major view: the slot permutation is
         computed once and reused across all applies, and each gathered
         row of ``X`` serves all ``k`` right-hand sides."""
         X = self._check_matmat_input(X)
-        rm_colind, rm_values, rm_ptr = self._row_major()
-        Y_perm = _segment_matmat(
-            rm_colind, rm_values, rm_ptr, X, self.nchunks * self.chunk
+        k = X.shape[1]
+        if out is None:
+            Y = np.empty((self.nrows, k), dtype=np.float64)
+        else:
+            Y = check_out_buffer(out, (self.nrows, k), operand=X)
+        rm_colind, rm_values, rm_ptr, rm_plan = self._row_major()
+        npad = self.nchunks * self.chunk
+        if workspace is not None:
+            Y_perm = workspace.buffer("sellcs.Y_perm", (npad, k))
+        else:
+            Y_perm = np.empty((npad, k), dtype=np.float64)
+        _segment_matmat(
+            rm_colind, rm_values, rm_ptr, X, npad,
+            out=Y_perm, workspace=workspace, plan=rm_plan, name="sellcs",
         )
-        Y = np.zeros((self.nrows, X.shape[1]), dtype=np.float64)
         Y[self.row_perm] = Y_perm[: self.nrows]
         return Y
 

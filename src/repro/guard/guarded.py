@@ -22,15 +22,35 @@ to the baseline CSR kernel's numeric plane.
 
 from __future__ import annotations
 
+import inspect
+
 import numpy as np
 
 from ..formats import CSRMatrix
+from ..formats.base import check_out_buffer
 from ..kernels.base import Kernel
 from ..kernels.registry import is_quarantined, record_kernel_failure
 from ..machine import KernelCost, MachineSpec
 from ..sched import Partition, make_partition
 
 __all__ = ["GuardedData", "GuardedKernel"]
+
+
+def _accepts_out(method) -> bool:
+    """True when ``method`` can take the ``out=``/``workspace=`` pair.
+
+    Guarded wrappers accept arbitrary inner kernels, including legacy
+    and test kernels whose ``apply(self, data, x)`` predates the
+    zero-allocation plane; those are called without the keywords and
+    their result is copied into ``out`` after validation.
+    """
+    try:
+        params = inspect.signature(method).parameters
+    except (TypeError, ValueError):  # builtins / exotic callables
+        return False
+    if any(p.kind is p.VAR_KEYWORD for p in params.values()):
+        return True
+    return "out" in params and "workspace" in params
 
 
 class GuardedData:
@@ -58,7 +78,7 @@ class GuardedKernel(Kernel):
     changes.
     """
 
-    def __init__(self, inner: Kernel):
+    def __init__(self, inner: Kernel, workspace=None):
         if isinstance(inner, GuardedKernel):
             inner = inner.inner
         self.inner = inner
@@ -68,6 +88,13 @@ class GuardedKernel(Kernel):
         #: faults caught by *this wrapper* (the registry aggregates per
         #: variant name across wrappers); exported by pipeline tracers.
         self.failure_events = 0
+        #: default :class:`~repro.memory.workspace.Workspace` arena used
+        #: when the caller does not pass one explicitly.
+        self.workspace = workspace
+        # Legacy/test kernels may predate the out=/workspace= plane;
+        # probe once at wrap time so apply() stays cheap.
+        self._apply_takes_out = _accepts_out(inner.apply)
+        self._multi_takes_out = _accepts_out(inner.apply_multi)
 
     def _record(self, reason: str) -> None:
         self.failure_events += 1
@@ -96,25 +123,51 @@ class GuardedKernel(Kernel):
 
     # -- numeric plane -------------------------------------------------
 
-    def apply(self, data: GuardedData, x: np.ndarray) -> np.ndarray:
-        y = self._guarded(data, x, multi=False)
-        return y if y is not None else data.csr.matvec(x)
+    def apply(self, data: GuardedData, x: np.ndarray,
+              out: np.ndarray | None = None, workspace=None) -> np.ndarray:
+        workspace = workspace if workspace is not None else self.workspace
+        if out is not None:
+            out = check_out_buffer(out, (data.csr.nrows,), operand=x)
+        y = self._guarded(data, x, multi=False, out=out, workspace=workspace)
+        if y is None:
+            # The variant may have written garbage into a caller-owned
+            # out buffer before failing; the fallback recomputes fully.
+            return data.csr.matvec(x, out=out, workspace=workspace)
+        if out is not None and y is not out:
+            np.copyto(out, y)
+            return out
+        return y
 
-    def apply_multi(self, data: GuardedData, X: np.ndarray) -> np.ndarray:
-        Y = self._guarded(data, X, multi=True)
-        return Y if Y is not None else data.csr.matmat(X)
+    def apply_multi(self, data: GuardedData, X: np.ndarray,
+                    out: np.ndarray | None = None,
+                    workspace=None) -> np.ndarray:
+        workspace = workspace if workspace is not None else self.workspace
+        if out is not None:
+            X = np.asarray(X)
+            out = check_out_buffer(out, (data.csr.nrows, X.shape[1]),
+                                   operand=X)
+        Y = self._guarded(data, X, multi=True, out=out, workspace=workspace)
+        if Y is None:
+            return data.csr.matmat(X, out=out, workspace=workspace)
+        if out is not None and Y is not out:
+            np.copyto(out, Y)
+            return out
+        return Y
 
     def _guarded(self, data: GuardedData, x: np.ndarray,
-                 *, multi: bool) -> np.ndarray | None:
+                 *, multi: bool, out: np.ndarray | None = None,
+                 workspace=None) -> np.ndarray | None:
         """Run the wrapped variant; None means 'use the CSR fallback'."""
         name = self.inner.name
         if data.inner is None or is_quarantined(name):
             return None
+        takes_out = self._multi_takes_out if multi else self._apply_takes_out
+        kwargs = {"out": out, "workspace": workspace} if takes_out else {}
         try:
-            out = (
-                self.inner.apply_multi(data.inner, x)
+            result = (
+                self.inner.apply_multi(data.inner, x, **kwargs)
                 if multi
-                else self.inner.apply(data.inner, x)
+                else self.inner.apply(data.inner, x, **kwargs)
             )
         except Exception as exc:
             self._record(f"apply raised {type(exc).__name__}: {exc}")
@@ -124,8 +177,8 @@ class GuardedKernel(Kernel):
             if multi
             else (data.csr.nrows,)
         )
-        if not isinstance(out, np.ndarray) or out.shape != expected:
-            got = getattr(out, "shape", type(out).__name__)
+        if not isinstance(result, np.ndarray) or result.shape != expected:
+            got = getattr(result, "shape", type(result).__name__)
             self._record(
                 f"apply returned shape {got}, expected {expected}"
             )
@@ -133,13 +186,13 @@ class GuardedKernel(Kernel):
         if (
             data.values_finite
             and bool(np.isfinite(x).all())
-            and not bool(np.isfinite(out).all())
+            and not bool(np.isfinite(result).all())
         ):
             self._record(
                 "apply produced non-finite output from finite input"
             )
             return None
-        return out
+        return result
 
     # -- cost plane & scheduling --------------------------------------
 

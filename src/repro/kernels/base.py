@@ -56,10 +56,20 @@ class Kernel(abc.ABC):
     # -- numeric plane ----------------------------------------------------
 
     @abc.abstractmethod
-    def apply(self, data, x: np.ndarray) -> np.ndarray:
-        """Compute the kernel's result for input vector ``x``."""
+    def apply(self, data, x: np.ndarray, out: np.ndarray | None = None,
+              workspace=None) -> np.ndarray:
+        """Compute the kernel's result for input vector ``x``.
 
-    def apply_multi(self, data, X: np.ndarray) -> np.ndarray:
+        ``out`` receives the result in place (validated against the
+        kernel's output shape); ``workspace`` (a
+        :class:`repro.memory.Workspace`) supplies reusable scratch
+        buffers so repeat applies allocate nothing. Both are optional
+        and default to the allocate-per-call behavior.
+        """
+
+    def apply_multi(self, data, X: np.ndarray,
+                    out: np.ndarray | None = None,
+                    workspace=None) -> np.ndarray:
         """Batched numeric plane: ``Y = A @ X`` for ``X`` of shape
         ``(ncols, k)``.
 
@@ -72,11 +82,20 @@ class Kernel(abc.ABC):
         X = np.ascontiguousarray(X, dtype=np.float64)
         if X.ndim != 2:
             raise ValueError(f"X must be 2-D (ncols, k), got shape {X.shape}")
-        cols = [self.apply(data, X[:, j]) for j in range(X.shape[1])]
+        cols = [self.apply(data, X[:, j], workspace=workspace)
+                for j in range(X.shape[1])]
         if not cols:
             nrows = getattr(data, "nrows", 0)
-            return np.zeros((nrows, 0), dtype=np.float64)
-        return np.stack(cols, axis=1)
+            Y = np.zeros((nrows, 0), dtype=np.float64)
+        else:
+            Y = np.stack(cols, axis=1)
+        if out is None:
+            return Y
+        from ..formats.base import check_out_buffer
+
+        out = check_out_buffer(out, Y.shape, operand=X)
+        out[:] = Y
+        return out
 
     # -- cost plane -------------------------------------------------------
 
@@ -96,13 +115,15 @@ class Kernel(abc.ABC):
 
     # -- conveniences ------------------------------------------------------
 
-    def run_numeric(self, csr: CSRMatrix, x: np.ndarray) -> np.ndarray:
+    def run_numeric(self, csr: CSRMatrix, x: np.ndarray,
+                    out: np.ndarray | None = None,
+                    workspace=None) -> np.ndarray:
         """Preprocess + apply in one step (tests & examples)."""
         data = self.preprocess(csr)
         x = np.asarray(x)
         if x.ndim == 2:
-            return self.apply_multi(data, x)
-        return self.apply(data, x)
+            return self.apply_multi(data, x, out=out, workspace=workspace)
+        return self.apply(data, x, out=out, workspace=workspace)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"

@@ -54,11 +54,14 @@ class BCSRSpMV(Kernel):
 
     # -- numeric plane -------------------------------------------------------
 
-    def apply(self, data: BCSRMatrix, x: np.ndarray) -> np.ndarray:
-        return data.matvec(x)
+    def apply(self, data: BCSRMatrix, x: np.ndarray,
+              out: np.ndarray | None = None, workspace=None) -> np.ndarray:
+        return data.matvec(x, out=out, workspace=workspace)
 
-    def apply_multi(self, data: BCSRMatrix, X: np.ndarray) -> np.ndarray:
-        return data.matmat(X)
+    def apply_multi(self, data: BCSRMatrix, X: np.ndarray,
+                    out: np.ndarray | None = None,
+                    workspace=None) -> np.ndarray:
+        return data.matmat(X, out=out, workspace=workspace)
 
     # -- scheduling ------------------------------------------------------------
 
@@ -70,6 +73,7 @@ class BCSRSpMV(Kernel):
             np.ones(data.nblocks),
             (data.block_rowptr.size - 1,
              max(-(-data.ncols // data.block), 1)),
+            trusted=True,
         )
         return make_partition(proxy, nthreads, "balanced-nnz")
 
@@ -106,6 +110,7 @@ class BCSRSpMV(Kernel):
             data.block_rowptr.copy(), data.block_colind.copy(),
             np.ones(data.nblocks),
             (nbrows, max(-(-data.ncols // r), 1)),
+            trusted=True,
         )
         xc = x_access_cost(proxy, m)
         latency = xc.latency_ns_per_row

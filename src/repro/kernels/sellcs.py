@@ -49,11 +49,14 @@ class SellCSigmaSpMV(Kernel):
 
     # -- numeric plane ------------------------------------------------------
 
-    def apply(self, data: SellCSigmaMatrix, x: np.ndarray) -> np.ndarray:
-        return data.matvec(x)
+    def apply(self, data: SellCSigmaMatrix, x: np.ndarray,
+              out: np.ndarray | None = None, workspace=None) -> np.ndarray:
+        return data.matvec(x, out=out, workspace=workspace)
 
-    def apply_multi(self, data: SellCSigmaMatrix, X: np.ndarray) -> np.ndarray:
-        return data.matmat(X)
+    def apply_multi(self, data: SellCSigmaMatrix, X: np.ndarray,
+                    out: np.ndarray | None = None,
+                    workspace=None) -> np.ndarray:
+        return data.matmat(X, out=out, workspace=workspace)
 
     # -- scheduling -----------------------------------------------------------
 
@@ -70,6 +73,7 @@ class SellCSigmaSpMV(Kernel):
             np.zeros(int(data.chunk_ptr[-1]), dtype=np.int32),
             np.zeros(int(data.chunk_ptr[-1])),
             (data.nchunks, max(data.ncols, 1)),
+            trusted=True,
         )
 
     def _schedulable(self, data):  # pragma: no cover

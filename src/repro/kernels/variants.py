@@ -139,6 +139,7 @@ class PreparedData:
             self._long_csr = CSRMatrix(
                 d.long_rowptr.copy(), d.long_colind.copy(),
                 d.long_values.copy(), (d.n_long_rows, d.ncols),
+                trusted=True,
             )
         return self._long_csr
 
@@ -186,24 +187,40 @@ class ConfiguredSpMV(Kernel):
 
     # -- numeric plane -----------------------------------------------------
 
-    def apply(self, data: PreparedData, x: np.ndarray) -> np.ndarray:
+    def apply(self, data: PreparedData, x: np.ndarray,
+              out: np.ndarray | None = None, workspace=None) -> np.ndarray:
         cfg = self.config
         if cfg.decompose:
             d = data.decomposed
             if data.short_delta is not None:
                 # Exercise the delta-decode path for the short part.
-                y = data.short_delta.matvec(x)
+                y = data.short_delta.matvec(x, out=out, workspace=workspace)
             else:
-                y = d.short.matvec(x)
+                y = d.short.matvec(x, out=out, workspace=workspace)
             long_csr = data.long_part_csr()
             if long_csr is not None:
-                y[d.long_rows] += long_csr.matvec(np.asarray(x, dtype=np.float64))
+                xs = np.asarray(x, dtype=np.float64)
+                nlong = long_csr.nrows
+                if workspace is not None:
+                    tmp = workspace.buffer("cfg.long.y", nlong)
+                    rowbuf = workspace.buffer("cfg.long.rows", nlong)
+                else:
+                    tmp = np.empty(nlong, dtype=np.float64)
+                    rowbuf = np.empty(nlong, dtype=np.float64)
+                long_csr.matvec(xs, out=tmp, workspace=workspace)
+                # y[long_rows] += tmp without a fancy-index temporary.
+                rows = d.long_rows_gather()
+                np.take(y, rows, out=rowbuf, mode="clip")
+                np.add(rowbuf, tmp, out=rowbuf)
+                y[rows] = rowbuf
             return y
         if cfg.compress:
-            return data.delta.matvec(x)
-        return data.csr.matvec(x)
+            return data.delta.matvec(x, out=out, workspace=workspace)
+        return data.csr.matvec(x, out=out, workspace=workspace)
 
-    def apply_multi(self, data: PreparedData, X: np.ndarray) -> np.ndarray:
+    def apply_multi(self, data: PreparedData, X: np.ndarray,
+                    out: np.ndarray | None = None,
+                    workspace=None) -> np.ndarray:
         """Batched apply mirroring :meth:`apply`'s format dispatch.
 
         Delta decoding happens once per batch instead of once per
@@ -213,16 +230,28 @@ class ConfiguredSpMV(Kernel):
         if cfg.decompose:
             d = data.decomposed
             if data.short_delta is not None:
-                Y = data.short_delta.matmat(X)
+                Y = data.short_delta.matmat(X, out=out, workspace=workspace)
             else:
-                Y = d.short.matmat(X)
+                Y = d.short.matmat(X, out=out, workspace=workspace)
             long_csr = data.long_part_csr()
             if long_csr is not None:
-                Y[d.long_rows] += long_csr.matmat(X)
+                nlong = long_csr.nrows
+                k = Y.shape[1]
+                if workspace is not None:
+                    tmp = workspace.buffer("cfg.long.Y", (nlong, k))
+                    rowbuf = workspace.buffer("cfg.long.Yrows", (nlong, k))
+                else:
+                    tmp = np.empty((nlong, k), dtype=np.float64)
+                    rowbuf = np.empty((nlong, k), dtype=np.float64)
+                long_csr.matmat(X, out=tmp, workspace=workspace)
+                rows = d.long_rows_gather()
+                np.take(Y, rows, axis=0, out=rowbuf, mode="clip")
+                np.add(rowbuf, tmp, out=rowbuf)
+                Y[rows] = rowbuf
             return Y
         if cfg.compress:
-            return data.delta.matmat(X)
-        return data.csr.matmat(X)
+            return data.delta.matmat(X, out=out, workspace=workspace)
+        return data.csr.matmat(X, out=out, workspace=workspace)
 
     # -- scheduling -----------------------------------------------------------
 

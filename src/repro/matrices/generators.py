@@ -332,6 +332,7 @@ def vstack(matrices) -> CSRMatrix:
         np.concatenate([m.colind for m in matrices]),
         np.concatenate([m.values for m in matrices]),
         (sum(m.nrows for m in matrices), ncols),
+        trusted=True,
     )
 
 

@@ -1,0 +1,6 @@
+"""Memory plane: caller-owned buffer arenas for the zero-allocation
+execution path (see docs/performance.md)."""
+
+from .workspace import Workspace
+
+__all__ = ["Workspace"]

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..formats import CSRMatrix
 from ..machine import ExecutionEngine, MachineSpec, RunResult
+from ..memory import Workspace
 from .context import PipelineContext
 from .stages import ExecuteStage
 from .tracer import Tracer
@@ -34,14 +35,23 @@ __all__ = ["PipelineRunner"]
 
 
 class PipelineRunner:
-    """Instrumented execution harness bound to one target machine."""
+    """Instrumented execution harness bound to one target machine.
+
+    The runner owns a :class:`~repro.memory.workspace.Workspace` arena
+    shared by every operator it drives through :meth:`run_optimized`,
+    so repeat executions — even across different matrices of the same
+    shape — reuse scratch buffers instead of reallocating them. The
+    arena's hit/miss/bytes-held counters are exported on each execute
+    span."""
 
     def __init__(self, machine: MachineSpec | None = None,
                  nthreads: int | None = None,
-                 tracer: Tracer | None = None):
+                 tracer: Tracer | None = None,
+                 workspace: Workspace | None = None):
         self.machine = machine
         self.nthreads = nthreads
         self.tracer = tracer if tracer is not None else Tracer()
+        self.workspace = workspace if workspace is not None else Workspace()
 
     def _require_machine(self) -> MachineSpec:
         if self.machine is None:
@@ -79,6 +89,9 @@ class PipelineRunner:
         the execute span land on this runner's tracer.
         """
         operator = optimizer.optimize(csr, tracer=self.tracer)
+        # Drive the operator's numeric plane from the runner's shared
+        # arena so scratch buffers persist across run_optimized calls.
+        operator.workspace = self.workspace
         ctx = PipelineContext(
             csr=csr,
             machine=operator.machine,
@@ -93,7 +106,8 @@ class PipelineRunner:
         stage = ExecuteStage()
         with self.tracer.span(stage.name) as span:
             stage.run(ctx, span)
-            span.set(cache_hit=operator.plan.cache_hit)
+            span.set(cache_hit=operator.plan.cache_hit,
+                     workspace=self.workspace.counters())
         return operator, ctx.result
 
     # -- wall-clock timing ---------------------------------------------

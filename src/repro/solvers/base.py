@@ -14,6 +14,7 @@ traffic over the whole block.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -24,6 +25,9 @@ __all__ = [
     "SolverReport",
     "as_matvec",
     "as_matmat",
+    "as_matvec_into",
+    "as_matmat_into",
+    "into_adapter",
     "columnwise",
     "identity_preconditioner",
 ]
@@ -130,6 +134,51 @@ def as_matmat(operator) -> Callable[[np.ndarray], np.ndarray]:
         return np.column_stack([matvec(X[:, j]) for j in range(X.shape[1])])
 
     return stacked
+
+
+def _io_support(method) -> tuple[bool, bool]:
+    """Does ``method`` take the ``out=`` / ``workspace=`` keywords?"""
+    try:
+        params = inspect.signature(method).parameters
+    except (TypeError, ValueError):  # builtins / exotic callables
+        return False, False
+    if any(p.kind is p.VAR_KEYWORD for p in params.values()):
+        return True, True
+    return "out" in params, "workspace" in params
+
+
+def into_adapter(fn, workspace=None) -> Callable:
+    """Wrap ``fn(x) -> y`` as ``fn(x, out) -> out``.
+
+    When ``fn`` supports the ``out=`` keyword (all format matvecs, the
+    optimized operator) the result is written straight into the
+    caller's buffer — bit-identical to the allocating path — and a
+    ``workspace`` arena is threaded through when supported, so repeat
+    calls allocate nothing. Bare callables fall back to
+    compute-then-copy.
+    """
+    has_out, has_ws = _io_support(fn)
+    if has_out and has_ws and workspace is not None:
+        def into(x, out):
+            return fn(x, out=out, workspace=workspace)
+    elif has_out:
+        def into(x, out):
+            return fn(x, out=out)
+    else:
+        def into(x, out):
+            np.copyto(out, fn(x))
+            return out
+    return into
+
+
+def as_matvec_into(operator, workspace=None) -> Callable:
+    """Normalize an operator to in-place ``matvec(x, out) -> out``."""
+    return into_adapter(as_matvec(operator), workspace)
+
+
+def as_matmat_into(operator, workspace=None) -> Callable:
+    """Normalize an operator to in-place ``matmat(X, out) -> out``."""
+    return into_adapter(as_matmat(operator), workspace)
 
 
 def columnwise(M) -> Callable[[np.ndarray], np.ndarray]:

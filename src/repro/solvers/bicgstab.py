@@ -2,16 +2,23 @@
 
 Two SpMVs per iteration; used by the examples for the non-SPD
 matrices in the suite (circuit and graph matrices).
+
+The hot loop is fused like :mod:`repro.solvers.cg`: all iteration
+vectors are preallocated, the SpMVs write through the operator's
+``out=`` plane, and the recurrences run in place with the exact
+elementwise operation sequence of the allocating formulation, so
+results are bit-identical while the steady state allocates nothing.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..memory import Workspace
 from .base import (
     SolveResult,
-    as_matmat,
-    as_matvec,
+    as_matmat_into,
+    as_matvec_into,
     columnwise,
     finite_residual,
     identity_preconditioner,
@@ -47,29 +54,52 @@ def bicgstab(
     if b.ndim == 2:
         return _block_bicgstab(A, b, x0, tol=tol, maxiter=maxiter,
                                preconditioner=preconditioner)
-    matvec = as_matvec(A)
+    matvec_into = as_matvec_into(A, Workspace())
     M = preconditioner or identity_preconditioner
+    identity = M is identity_preconditioner
     x = (
         np.zeros_like(b)
         if x0 is None
         else np.array(x0, dtype=np.float64, copy=True)
     )
+    x_init = x.copy()  # pristine fallback for breakdown recovery
     bnorm = float(np.linalg.norm(b)) or 1.0
     history: list[float] = []
+    # Preallocated iteration vectors; the sweep below only writes into
+    # these (plus whatever a non-identity preconditioner returns).
+    r = np.empty_like(b)
+    r_hat = np.empty_like(b)
+    v = np.empty_like(b)
+    p = np.empty_like(b)
+    s = np.empty_like(b)
+    t = np.empty_like(b)
+    tmp = np.empty_like(b)
+
+    def restore(x):
+        if np.isfinite(x_init).all():
+            np.copyto(x, x_init)
+        else:
+            x.fill(0.0)
+        return x
 
     def sweep(x, budget):
-        """One BiCGSTAB sweep; returns (x, converged, iters, reason)."""
-        r = b - matvec(x) if x.any() else b.copy()
+        """One BiCGSTAB sweep, updating ``x`` in place; returns
+        (x, converged, iters, reason)."""
+        if x.any():
+            matvec_into(x, tmp)
+            np.subtract(b, tmp, out=r)
+        else:
+            np.copyto(r, b)
         rnorm = float(np.linalg.norm(r))
         history.append(rnorm)
         if not np.isfinite(rnorm):
             return x, False, 0, "non-finite-residual"
         if rnorm <= tol * bnorm:
             return x, True, 0, None
-        r_hat = r.copy()
+        np.copyto(r_hat, r)
         rho = alpha = omega = 1.0
-        v = np.zeros_like(b)
-        p = np.zeros_like(b)
+        v.fill(0.0)
+        p.fill(0.0)
         for k in range(1, budget + 1):
             rho_new = float(r_hat @ r)
             if not np.isfinite(rho_new):
@@ -80,33 +110,42 @@ def bicgstab(
                 return x, False, k - 1, "omega-breakdown"
             beta = (rho_new / rho) * (alpha / omega)
             rho = rho_new
-            p = r + beta * (p - omega * v)
-            phat = M(p)
-            v = matvec(phat)
+            np.multiply(v, omega, out=tmp)      # p = r + beta*(p - omega*v)
+            np.subtract(p, tmp, out=p)
+            np.multiply(p, beta, out=p)
+            np.add(r, p, out=p)
+            phat = p if identity else M(p)
+            matvec_into(phat, v)
             denom = float(r_hat @ v)
             if not np.isfinite(denom):
                 return x, False, k - 1, "non-finite-residual"
             if denom == 0.0:
                 return x, False, k - 1, "rhat-v-breakdown"
             alpha = rho / denom
-            s = r - alpha * v
+            np.multiply(v, alpha, out=tmp)      # s = r - alpha * v
+            np.subtract(r, tmp, out=s)
             snorm = float(np.linalg.norm(s))
             if not np.isfinite(snorm):
                 return x, False, k - 1, "non-finite-residual"
             if snorm <= tol * bnorm:
-                x = x + alpha * phat
+                np.multiply(phat, alpha, out=tmp)   # x += alpha * phat
+                np.add(x, tmp, out=x)
                 history.append(snorm)
                 return x, True, k, None
-            shat = M(s)
-            t = matvec(shat)
+            shat = s if identity else M(s)
+            matvec_into(shat, t)
             tt = float(t @ t)
             if not np.isfinite(tt):
                 return x, False, k - 1, "non-finite-residual"
             if tt == 0.0:
                 return x, False, k - 1, "omega-breakdown"
             omega = float(t @ s) / tt
-            x = x + alpha * phat + omega * shat
-            r = s - omega * t
+            np.multiply(phat, alpha, out=tmp)   # x += alpha*phat + omega*shat
+            np.add(x, tmp, out=x)
+            np.multiply(shat, omega, out=tmp)
+            np.add(x, tmp, out=x)
+            np.multiply(t, omega, out=tmp)      # r = s - omega * t
+            np.subtract(s, tmp, out=r)
             rnorm = float(np.linalg.norm(r))
             history.append(rnorm)
             if not np.isfinite(rnorm):
@@ -122,12 +161,12 @@ def bicgstab(
         # One recovery attempt from the last finite iterate.
         restarts = 1
         if not np.isfinite(x1).all():
-            x1 = x if np.isfinite(x).all() else np.zeros_like(b)
+            x1 = restore(x1)
         x1, converged, used2, reason2 = sweep(x1, maxiter - used)
         used += used2
         reasons.append(reason2)
     if not np.isfinite(x1).all():
-        x1 = x if np.isfinite(x).all() else np.zeros_like(b)
+        x1 = restore(x1)
 
     return SolveResult(
         x=x1, converged=converged, iterations=used,
@@ -147,17 +186,31 @@ def _block_bicgstab(A, B, X0, *, tol, maxiter, preconditioner) -> SolveResult:
     the half-update, exactly like the scalar code path. Columns whose
     recurrences go non-finite are frozen at their last finite iterate
     and the aggregate breakdown is reported in ``report``.
+
+    All ``(n, k)`` iteration blocks are preallocated and updated in
+    place; per-step allocations are limited to O(k) control vectors.
     """
-    matmat = as_matmat(A)
+    matmat_into = as_matmat_into(A, Workspace())
     M = columnwise(preconditioner or identity_preconditioner)
+    identity = M is identity_preconditioner
     n, k = B.shape
     X = (
         np.zeros_like(B)
         if X0 is None
         else np.array(X0, dtype=np.float64, copy=True).reshape(n, k)
     )
-    R = B - matmat(X) if X.any() else B.copy()
-    R_hat = R.copy()
+    R = np.empty_like(B)
+    R_hat = np.empty_like(B)
+    S = np.empty_like(B)
+    T = np.empty_like(B)
+    tmp = np.empty_like(B)
+    tmp2 = np.empty_like(B)
+    if X.any():
+        matmat_into(X, tmp)
+        np.subtract(B, tmp, out=R)
+    else:
+        np.copyto(R, B)
+    np.copyto(R_hat, R)
     rho = np.ones(k)
     alpha = np.ones(k)
     omega = np.ones(k)
@@ -195,10 +248,13 @@ def _block_bicgstab(A, B, X0, *, tol, maxiter, preconditioner) -> SolveResult:
             0.0,
         )
         rho = np.where(active, rho_new, rho)
-        P = R + beta * (P - omega * V)
+        np.multiply(V, omega, out=tmp)   # P = R + beta * (P - omega * V)
+        np.subtract(P, tmp, out=P)
+        np.multiply(P, beta, out=P)
+        np.add(R, P, out=P)
         P[:, ~active] = 0.0
-        Phat = M(P)
-        V = matmat(Phat)
+        Phat = P if identity else M(P)
+        matmat_into(Phat, V)
         denom = np.einsum("ij,ij->j", R_hat, V)
         drop(active & ~np.isfinite(denom), "non-finite-residual")
         drop(active & np.isfinite(denom) & (denom == 0.0),
@@ -208,17 +264,19 @@ def _block_bicgstab(A, B, X0, *, tol, maxiter, preconditioner) -> SolveResult:
         alpha = np.where(
             active, rho / np.where(denom != 0.0, denom, 1.0), 0.0
         )
-        S = R - alpha * V
+        np.multiply(V, alpha, out=tmp)          # S = R - alpha * V
+        np.subtract(R, tmp, out=S)
         snorm = np.linalg.norm(S, axis=0)
         drop(active & ~np.isfinite(snorm), "non-finite-residual")
         # Mid-step convergence: take the half update and freeze.
         half = active & (snorm <= tol * bnorm)
-        X += np.where(half, alpha, 0.0) * Phat
+        np.multiply(Phat, np.where(half, alpha, 0.0), out=tmp)
+        np.add(X, tmp, out=X)
         converged = converged | half
         active = active & ~half
         S[:, ~active] = 0.0
-        Shat = M(S)
-        T = matmat(Shat)
+        Shat = S if identity else M(S)
+        matmat_into(Shat, T)
         tt = np.einsum("ij,ij->j", T, T)
         drop(active & ~np.isfinite(tt), "non-finite-residual")
         drop(active & np.isfinite(tt) & (tt == 0.0), "omega-breakdown")
@@ -229,8 +287,13 @@ def _block_bicgstab(A, B, X0, *, tol, maxiter, preconditioner) -> SolveResult:
             0.0,
         )
         step = np.where(active, alpha, 0.0)
-        X += step * Phat + omega * Shat
-        R = np.where(active, S - omega * T, R)
+        np.multiply(Phat, step, out=tmp)  # X += step*Phat + omega*Shat
+        np.multiply(Shat, omega, out=tmp2)
+        np.add(tmp, tmp2, out=tmp)
+        np.add(X, tmp, out=X)
+        np.multiply(T, omega, out=tmp)    # R = where(active, S - omega*T, R)
+        np.subtract(S, tmp, out=tmp)
+        np.copyto(R, tmp, where=active)
         rnorm = np.where(active, np.linalg.norm(R, axis=0), history[-1])
         rnorm = np.where(half, snorm, rnorm)
         drop(active & ~np.isfinite(rnorm), "non-finite-residual")

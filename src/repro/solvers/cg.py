@@ -2,16 +2,25 @@
 
 One SpMV per iteration — the solver the paper's amortization analysis
 names first. Standard PCG with the Hestenes-Stiefel recurrences.
+
+The hot loop is fused: every iteration vector is preallocated outside
+the sweep, the SpMV writes through the operator's ``out=`` plane into a
+reused buffer, and the axpy updates run in place
+(``np.multiply``/``np.add(..., out=)``), so a steady-state iteration
+performs zero new array allocations. The elementwise operation
+sequence is exactly the textbook recurrence, so results are
+bit-identical to the allocating formulation.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..memory import Workspace
 from .base import (
     SolveResult,
-    as_matmat,
-    as_matvec,
+    as_matmat_into,
+    as_matvec_into,
     columnwise,
     finite_residual,
     identity_preconditioner,
@@ -29,6 +38,7 @@ def cg(
     tol: float = 1e-8,
     maxiter: int = 10_000,
     preconditioner=None,
+    callback=None,
 ) -> SolveResult:
     """Solve ``A x = b`` for SPD ``A``.
 
@@ -38,6 +48,11 @@ def cg(
     simultaneously through the operator's batched ``matmat`` plane
     (one SpMM per iteration instead of ``k`` SpMVs); the result's
     ``x`` / ``residual_history`` are then column-blocked too.
+
+    ``callback(k, rnorm)`` — when given — is invoked after every inner
+    iteration of the single-RHS path with the 1-based iteration number
+    and the current residual norm (used e.g. by the allocation-tracking
+    perf tests to bracket one steady-state iteration).
 
     Breakdowns (indefinite operator, non-finite residual) trigger one
     restart from the last finite iterate; if the restart breaks down
@@ -50,30 +65,51 @@ def cg(
     if b.ndim == 2:
         return _block_cg(A, b, x0, tol=tol, maxiter=maxiter,
                          preconditioner=preconditioner)
-    matvec = as_matvec(A)
+    matvec_into = as_matvec_into(A, Workspace())
     M = preconditioner or identity_preconditioner
+    identity = M is identity_preconditioner
     x = (
         np.zeros_like(b)
         if x0 is None
         else np.array(x0, dtype=np.float64, copy=True)
     )
+    x_init = x.copy()  # pristine fallback for breakdown recovery
     bnorm = float(np.linalg.norm(b)) or 1.0
     history: list[float] = []
+    # Every iteration vector lives outside the sweep; the loop below
+    # touches only these buffers.
+    r = np.empty_like(b)
+    p = np.empty_like(b)
+    Ap = np.empty_like(b)
+    tmp = np.empty_like(b)
+
+    def restore(x):
+        """Reset ``x`` to the pristine start iterate (or zero)."""
+        if np.isfinite(x_init).all():
+            np.copyto(x, x_init)
+        else:
+            x.fill(0.0)
+        return x
 
     def sweep(x, budget):
-        """One CG sweep; returns (x, converged, iterations, reason)."""
-        r = b - matvec(x) if x.any() else b.copy()
+        """One CG sweep, updating ``x`` in place; returns
+        (x, converged, iterations, reason)."""
+        if x.any():
+            matvec_into(x, Ap)
+            np.subtract(b, Ap, out=r)
+        else:
+            np.copyto(r, b)
         rnorm = float(np.linalg.norm(r))
         history.append(rnorm)
         if not np.isfinite(rnorm):
             return x, False, 0, "non-finite-residual"
         if rnorm <= tol * bnorm:
             return x, True, 0, None
-        z = M(r)
-        p = z.copy()
+        z = r if identity else M(r)
+        np.copyto(p, z)
         rz = float(r @ z)
         for k in range(1, budget + 1):
-            Ap = matvec(p)
+            matvec_into(p, Ap)
             pAp = float(p @ Ap)
             if not np.isfinite(pAp):
                 return x, False, k - 1, "non-finite-residual"
@@ -81,19 +117,24 @@ def cg(
                 # Not SPD (or breakdown): stop with what we have.
                 return x, False, k - 1, "indefinite-operator"
             alpha = rz / pAp
-            x = x + alpha * p
-            r = r - alpha * Ap
+            np.multiply(p, alpha, out=tmp)      # x += alpha * p
+            np.add(x, tmp, out=x)
+            np.multiply(Ap, alpha, out=tmp)     # r -= alpha * Ap
+            np.subtract(r, tmp, out=r)
             rnorm = float(np.linalg.norm(r))
             history.append(rnorm)
+            if callback is not None:
+                callback(k, rnorm)
             if not np.isfinite(rnorm):
                 return x, False, k, "non-finite-residual"
             if rnorm <= tol * bnorm:
                 return x, True, k, None
-            z = M(r)
+            z = r if identity else M(r)
             rz_new = float(r @ z)
             beta = rz_new / rz
             rz = rz_new
-            p = z + beta * p
+            np.multiply(p, beta, out=tmp)       # p = z + beta * p
+            np.add(z, tmp, out=p)
         return x, False, budget, None
 
     x1, converged, used, reason = sweep(x, maxiter)
@@ -103,12 +144,12 @@ def cg(
         # One recovery attempt from the last finite iterate.
         restarts = 1
         if not np.isfinite(x1).all():
-            x1 = x if np.isfinite(x).all() else np.zeros_like(b)
+            x1 = restore(x1)
         x1, converged, used2, reason2 = sweep(x1, maxiter - used)
         used += used2
         reasons.append(reason2)
     if not np.isfinite(x1).all():
-        x1 = x if np.isfinite(x).all() else np.zeros_like(b)
+        x1 = restore(x1)
 
     return SolveResult(
         x=x1, converged=converged, iterations=used,
@@ -127,18 +168,31 @@ def _block_cg(A, B, X0, *, tol, maxiter, preconditioner) -> SolveResult:
     direction, so the remaining active columns keep iterating with one
     batched ``matmat`` per step. Broken columns keep their last finite
     iterate and the aggregate breakdown is reported in ``report``.
+
+    All ``(n, k)`` iteration blocks are preallocated and updated in
+    place; the per-step allocations are limited to O(k) control
+    vectors (step lengths, norms, masks).
     """
-    matmat = as_matmat(A)
+    matmat_into = as_matmat_into(A, Workspace())
     M = columnwise(preconditioner or identity_preconditioner)
+    identity = M is identity_preconditioner
     n, k = B.shape
     X = (
         np.zeros_like(B)
         if X0 is None
         else np.array(X0, dtype=np.float64, copy=True).reshape(n, k)
     )
-    R = B - matmat(X) if X.any() else B.copy()
-    Z = M(R)
-    P = Z.copy()
+    R = np.empty_like(B)
+    P = np.empty_like(B)
+    AP = np.empty_like(B)
+    tmp = np.empty_like(B)
+    if X.any():
+        matmat_into(X, AP)
+        np.subtract(B, AP, out=R)
+    else:
+        np.copyto(R, B)
+    Z = R if identity else M(R)
+    np.copyto(P, Z)
     rz = np.einsum("ij,ij->j", R, Z)
     bnorm = np.linalg.norm(B, axis=0)
     bnorm[bnorm == 0.0] = 1.0
@@ -152,7 +206,7 @@ def _block_cg(A, B, X0, *, tol, maxiter, preconditioner) -> SolveResult:
     for it in range(1, maxiter + 1):
         if not active.any():
             break
-        AP = matmat(P)
+        matmat_into(P, AP)
         pAp = np.einsum("ij,ij->j", P, AP)
         # Non-finite and non-SPD columns stop with what they have.
         nonfinite = active & ~np.isfinite(pAp)
@@ -167,8 +221,10 @@ def _block_cg(A, B, X0, *, tol, maxiter, preconditioner) -> SolveResult:
         AP[:, nonfinite] = 0.0
         safe = np.where(np.isfinite(pAp) & (pAp != 0.0), pAp, 1.0)
         alpha = np.where(active, rz / safe, 0.0)
-        X += alpha * P
-        R -= alpha * AP
+        np.multiply(P, alpha, out=tmp)          # X += alpha * P
+        np.add(X, tmp, out=X)
+        np.multiply(AP, alpha, out=tmp)         # R -= alpha * AP
+        np.subtract(R, tmp, out=R)
         rnorm = np.linalg.norm(R, axis=0)
         stray = active & ~np.isfinite(rnorm)
         if stray.any():
@@ -181,12 +237,13 @@ def _block_cg(A, B, X0, *, tol, maxiter, preconditioner) -> SolveResult:
         active = active & ~newly
         if not active.any():
             break
-        Z = M(R)
+        Z = R if identity else M(R)
         rz_new = np.einsum("ij,ij->j", R, Z)
         safe_rz = np.where(rz != 0.0, rz, 1.0)
         beta = np.where(active, rz_new / safe_rz, 0.0)
         rz = np.where(active, rz_new, rz)
-        P = Z + beta * P
+        np.multiply(P, beta, out=tmp)           # P = Z + beta * P
+        np.add(Z, tmp, out=P)
         P[:, ~active] = 0.0
 
     final = history[-1]

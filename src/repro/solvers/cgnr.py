@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import SolveResult, finite_residual, make_report
+from ..memory import Workspace
+from .base import SolveResult, finite_residual, into_adapter, make_report
 
 __all__ = ["cgnr"]
 
@@ -47,39 +48,67 @@ def cgnr(
         if x0 is None
         else np.array(x0, dtype=np.float64, copy=True)
     )
-    z0n = float(np.linalg.norm(A.rmatvec(b)))
+    x_init = x.copy()  # pristine fallback for breakdown recovery
+    workspace = Workspace()
+    matvec_into = into_adapter(A.matvec, workspace)
+    rmatvec_into = into_adapter(A.rmatvec, workspace)
+    # Preallocated iteration vectors: row-space (nrows) and
+    # column-space (ncols) buffers; the sweep writes only into these.
+    r = np.empty(nrows)
+    w = np.empty(nrows)
+    tmp_r = np.empty(nrows)
+    z = np.empty(ncols)
+    p = np.empty(ncols)
+    tmp_c = np.empty(ncols)
+    rmatvec_into(b, z)
+    z0n = float(np.linalg.norm(z))
     z0 = z0n if np.isfinite(z0n) and z0n > 0.0 else 1.0
     history: list[float] = []
 
+    def restore(x):
+        if np.isfinite(x_init).all():
+            np.copyto(x, x_init)
+        else:
+            x.fill(0.0)
+        return x
+
     def sweep(x, budget):
-        """One CGNR sweep; returns (x, converged, iterations, reason)."""
-        r = b - A.matvec(x) if x.any() else b.copy()
-        z = A.rmatvec(r)              # normal-equation residual
+        """One CGNR sweep, updating ``x`` in place; returns
+        (x, converged, iterations, reason)."""
+        if x.any():
+            matvec_into(x, w)
+            np.subtract(b, w, out=r)
+        else:
+            np.copyto(r, b)
+        rmatvec_into(r, z)            # normal-equation residual
         zz = float(z @ z)
         history.append(float(np.sqrt(abs(zz))))
         if not np.isfinite(zz):
             return x, False, 0, "non-finite-residual"
         if history[-1] <= tol * z0:
             return x, True, 0, None
-        p = z.copy()
+        np.copyto(p, z)
         for k in range(1, budget + 1):
-            w = A.matvec(p)
+            matvec_into(p, w)
             ww = float(w @ w)
             if not np.isfinite(ww):
                 return x, False, k - 1, "non-finite-residual"
             if ww == 0.0:
                 return x, False, k - 1, "zero-direction"
             alpha = zz / ww
-            x = x + alpha * p
-            r = r - alpha * w
-            z = A.rmatvec(r)
+            np.multiply(p, alpha, out=tmp_c)    # x += alpha * p
+            np.add(x, tmp_c, out=x)
+            np.multiply(w, alpha, out=tmp_r)    # r -= alpha * w
+            np.subtract(r, tmp_r, out=r)
+            rmatvec_into(r, z)
             zz_new = float(z @ z)
             history.append(float(np.sqrt(abs(zz_new))))
             if not np.isfinite(zz_new):
                 return x, False, k, "non-finite-residual"
             if history[-1] <= tol * z0:
                 return x, True, k, None
-            p = z + (zz_new / zz) * p
+            np.multiply(p, zz_new / zz, out=tmp_c)  # p = z + beta * p
+            np.add(z, tmp_c, out=p)
             zz = zz_new
         return x, False, budget, None
 
@@ -90,12 +119,12 @@ def cgnr(
         # One recovery attempt from the last finite iterate.
         restarts = 1
         if not np.isfinite(x1).all():
-            x1 = x if np.isfinite(x).all() else np.zeros(ncols)
+            x1 = restore(x1)
         x1, converged, used2, reason2 = sweep(x1, maxiter - used)
         used += used2
         reasons.append(reason2)
     if not np.isfinite(x1).all():
-        x1 = x if np.isfinite(x).all() else np.zeros(ncols)
+        x1 = restore(x1)
 
     return SolveResult(
         x=x1, converged=converged, iterations=used,

@@ -9,9 +9,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..memory import Workspace
 from .base import (
     SolveResult,
     as_matvec,
+    as_matvec_into,
     finite_residual,
     identity_preconditioner,
     make_report,
@@ -71,7 +73,9 @@ def gmres(
             ),
         )
     matvec = as_matvec(A)
+    matvec_into = as_matvec_into(A, Workspace())
     M = preconditioner or identity_preconditioner
+    identity = M is identity_preconditioner
     n = b.size
     x = (
         np.zeros_like(b)
@@ -88,9 +92,23 @@ def gmres(
     x_ref = x.copy()
     reason: str | None = None
     recoveries = 0
+    # Krylov-cycle storage is preallocated once at the solve's restart
+    # width; a (shorter) final cycle uses zero-filled views. The inner
+    # Arnoldi loop writes only into these buffers.
+    mcap = min(restart, maxiter)
+    Qbuf = np.empty((mcap + 1, n))
+    Hbuf = np.empty((mcap + 1, mcap))
+    csbuf = np.empty(mcap)
+    snbuf = np.empty(mcap)
+    gbuf = np.empty(mcap + 1)
+    w0 = np.empty(n)
+    r0 = np.empty(n)
+    tmp = np.empty(n)
 
     while total_iters < maxiter:
-        r = M(b - matvec(x))
+        matvec_into(x, tmp)
+        np.subtract(b, tmp, out=r0)
+        r = r0 if identity else M(r0)
         beta = float(np.linalg.norm(r))
         if not np.isfinite(beta):
             if not np.isfinite(x).all():
@@ -110,22 +128,29 @@ def gmres(
                 report=make_report([], recoveries, True),
             )
         m = min(restart, maxiter - total_iters)
-        Q = np.zeros((m + 1, n))
-        H = np.zeros((m + 1, m))
-        cs = np.zeros(m)
-        sn = np.zeros(m)
-        g = np.zeros(m + 1)
+        Q = Qbuf[: m + 1]
+        H = Hbuf[: m + 1, :m]
+        cs = csbuf[:m]
+        sn = snbuf[:m]
+        g = gbuf[: m + 1]
+        Q.fill(0.0)
+        H.fill(0.0)
+        cs.fill(0.0)
+        sn.fill(0.0)
+        g.fill(0.0)
         g[0] = beta
-        Q[0] = r / beta
+        np.divide(r, beta, out=Q[0])
 
         k_done = 0
         arnoldi_broke = False
         for k in range(m):
-            w = M(matvec(Q[k]))
-            # Modified Gram-Schmidt
+            matvec_into(Q[k], w0)
+            w = w0 if identity else M(w0)
+            # Modified Gram-Schmidt (fused: w -= H[i,k] * Q[i])
             for i in range(k + 1):
                 H[i, k] = float(w @ Q[i])
-                w -= H[i, k] * Q[i]
+                np.multiply(Q[i], H[i, k], out=tmp)
+                np.subtract(w, tmp, out=w)
             H[k + 1, k] = float(np.linalg.norm(w))
             if not np.isfinite(H[k + 1, k]):
                 # Non-finite Arnoldi vector: discard this column and
@@ -133,7 +158,7 @@ def gmres(
                 arnoldi_broke = True
                 break
             if H[k + 1, k] > 1e-14:
-                Q[k + 1] = w / H[k + 1, k]
+                np.divide(w, H[k + 1, k], out=Q[k + 1])
             # Apply existing Givens rotations to the new column.
             for i in range(k):
                 t = cs[i] * H[i, k] + sn[i] * H[i + 1, k]

@@ -38,6 +38,9 @@ def _validate(payload):
         assert row["single_gflops"] > 0.0
         assert row["batched_gflops"] > 0.0
         assert row["speedup"] > 0.0
+        assert row["single_allocs"] >= 0
+        assert row["single_steady_peak_bytes"] >= 0
+        assert 0.0 <= row["workspace_hit_rate"] <= 1.0
     assert payload["geomean_speedup"] > 0.0
 
 
