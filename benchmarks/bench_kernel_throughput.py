@@ -53,3 +53,35 @@ def test_engine_full_optimized_pipeline(benchmark, matrix):
     assert result.gflops > 0
     assert "transform" in runner.tracer.stage_names()
     assert "execute" in runner.tracer.stage_names()
+
+
+@pytest.mark.parametrize("nthreads", [1, 2, 4, 8])
+def test_parallel_matvec_throughput(benchmark, matrix, x, nthreads):
+    """Real threaded SpMV on the shared-memory pool; the benchmark
+    extra-info carries the measured per-thread CPU-time imbalance."""
+    from repro.parallel import ParallelSpMV
+
+    op = ParallelSpMV(matrix, nthreads=nthreads, schedule="balanced-nnz")
+    out = np.empty(matrix.nrows)
+    op.matvec(x, out=out)  # warm the pool and workspace arena
+
+    result = benchmark(op.matvec, x, out=out)
+    assert result.shape == (matrix.nrows,)
+    m = op.last_measurement
+    benchmark.extra_info["nthreads"] = m.nthreads
+    benchmark.extra_info["measured_imbalance"] = m.imbalance
+    benchmark.extra_info["wall_imbalance"] = m.wall_imbalance
+
+
+@pytest.mark.parametrize("schedule",
+                         ["static-rows", "balanced-nnz", "dynamic"])
+def test_parallel_schedule_policies(benchmark, matrix, x, schedule):
+    from repro.parallel import ParallelSpMV
+
+    op = ParallelSpMV(matrix, nthreads=4, schedule=schedule)
+    out = np.empty(matrix.nrows)
+    op.matvec(x, out=out)
+
+    benchmark(op.matvec, x, out=out)
+    benchmark.extra_info["schedule"] = schedule
+    benchmark.extra_info["measured_imbalance"] = op.last_measurement.imbalance

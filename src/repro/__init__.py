@@ -76,6 +76,12 @@ from .guard import (
     quarantined_kernel_names,
     validate_format,
 )
+from .parallel import (
+    ParallelConfig,
+    ParallelKernel,
+    ParallelMeasurement,
+    ParallelSpMV,
+)
 from .pipeline import PipelineContext, PipelineRunner, Tracer
 from .solvers import SolverReport, bicgstab, cg, gmres, jacobi_preconditioner
 
@@ -127,6 +133,11 @@ __all__ = [
     "oracle_search",
     "tune_profile_thresholds",
     "amortization_study",
+    # parallel
+    "ParallelConfig",
+    "ParallelKernel",
+    "ParallelMeasurement",
+    "ParallelSpMV",
     # pipeline
     "Tracer",
     "PipelineContext",

@@ -9,6 +9,7 @@
     repro-spmv trace NAME                 # JSON span export
     repro-spmv validate path/to/matrix.mtx
     repro-spmv bench --rhs 32             # single vs batched GFLOP/s
+    repro-spmv parallel NAME --threads 1,2,4,8   # measured imbalance
     repro-spmv experiment fig7-knl --scale 0.5
     repro-spmv experiments                # list experiment ids
 """
@@ -126,6 +127,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="timing repetitions (median is kept)")
     p_bench.add_argument("--output", default="BENCH_kernels.json",
                          help="JSON output path ('-' to skip writing)")
+    p_bench.add_argument("--threads", default="1,2,4,8",
+                         help="comma-separated thread counts for the "
+                         "measured-parallel section")
+
+    p_par = sub.add_parser(
+        "parallel",
+        help="run real threaded SpMV on one matrix: measured vs "
+        "predicted imbalance per schedule policy and thread count",
+    )
+    p_par.add_argument("matrix",
+                       help="suite matrix name or MatrixMarket file path")
+    p_par.add_argument("--platform", default="knl",
+                       choices=sorted(PLATFORMS))
+    p_par.add_argument("--scale", type=float, default=1.0)
+    p_par.add_argument("--threads", default="1,2,4,8",
+                       help="comma-separated thread counts")
+    p_par.add_argument("--schedule", default=None,
+                       help="one schedule policy (default: all)")
+    p_par.add_argument("--repeats", type=int, default=3,
+                       help="timing repetitions (best wall is kept)")
+    p_par.add_argument("--guard", action="store_true",
+                       help="compose the guard wrapper under the pool")
 
     sub.add_parser("experiments", help="list experiment ids")
 
@@ -287,18 +310,84 @@ def _cmd_validate(args) -> int:
     return 1
 
 
+def _parse_threads(spec: str) -> tuple[int, ...]:
+    threads = tuple(int(t) for t in spec.split(",") if t.strip())
+    if not threads or any(t < 1 for t in threads):
+        raise ValueError(f"bad thread list {spec!r}")
+    return threads
+
+
 def _cmd_bench(args) -> int:
     from .experiments import bench_batched
 
     if args.rhs < 1:
         print("error: --rhs must be >= 1", file=sys.stderr)
         return 2
+    try:
+        threads = _parse_threads(args.threads)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     out = None if args.output == "-" else args.output
     table = bench_batched.run(
         rhs=args.rhs, scale=args.scale, repeats=args.repeats,
-        out_path=out,
+        out_path=out, threads=threads,
     )
     print(table.to_text())
+    return 0
+
+
+def _cmd_parallel(args) -> int:
+    from .experiments.common import render_table
+    from .kernels import baseline_kernel
+    from .pipeline import PipelineRunner
+    from .sched import SCHEDULE_POLICIES
+
+    try:
+        threads = _parse_threads(args.threads)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.schedule is not None and args.schedule not in SCHEDULE_POLICIES:
+        print(
+            f"error: unknown schedule {args.schedule!r}; "
+            f"available: {', '.join(SCHEDULE_POLICIES)}",
+            file=sys.stderr,
+        )
+        return 2
+    schedules = ([args.schedule] if args.schedule
+                 else list(SCHEDULE_POLICIES))
+    machine = get_platform(args.platform)
+    csr = _load_matrix(args.matrix, args.scale)
+    kernel = baseline_kernel()
+    if args.guard:
+        from .guard.guarded import GuardedKernel
+
+        kernel = GuardedKernel(kernel)
+    runner = PipelineRunner(machine)
+    rows = []
+    for schedule in schedules:
+        for nthreads in threads:
+            result, meas = runner.measure_parallel(
+                kernel, csr, nthreads, schedule=schedule,
+                repeats=args.repeats,
+            )
+            rows.append((
+                schedule, meas.nthreads,
+                float(1e3 * meas.wall_seconds),
+                float(meas.imbalance),
+                float(meas.wall_imbalance),
+                float(result.imbalance),
+            ))
+    print(f"{csr.nrows}x{csr.ncols} nnz={csr.nnz} on "
+          f"{machine.codename}; measured on this host, best of "
+          f"{args.repeats}")
+    print(render_table(
+        ("schedule", "threads", "wall (ms)", "imb (cpu)",
+         "imb (wall)", "imb (model)"), rows
+    ))
+    print("imb (cpu) = max/mean per-thread CPU time (measured); "
+          "imb (model) = cost-plane prediction at the same threads")
     return 0
 
 
@@ -404,6 +493,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": _cmd_trace,
         "validate": _cmd_validate,
         "bench": _cmd_bench,
+        "parallel": _cmd_parallel,
         "train": _cmd_train,
         "export-suite": _cmd_export_suite,
         "experiments": _cmd_experiments,

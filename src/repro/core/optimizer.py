@@ -365,6 +365,9 @@ class OptimizedSpMV:
     #: entry that produced this operator, so repeat service keeps its
     #: warm buffers.
     workspace: Workspace = field(default_factory=Workspace, repr=False)
+    #: the optimizer's :class:`~repro.parallel.ParallelConfig` (None
+    #: for serial planning); consumed by :meth:`parallel_operator`.
+    parallel_config: object | None = field(default=None, repr=False)
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -392,6 +395,34 @@ class OptimizedSpMV:
         if x.ndim == 2:
             return self.matmat(x)
         return self.matvec(x)
+
+    def parallel_operator(self, nthreads: int | None = None,
+                          schedule: str | None = None,
+                          chunk_rows: int | None = None):
+        """Lift this operator onto the real parallel execution plane.
+
+        Returns a :class:`~repro.parallel.ParallelSpMV` that runs the
+        *planned* kernel on a thread pool. Defaults come from the
+        optimizer's :class:`~repro.parallel.ParallelConfig` when one was
+        supplied (``AdaptiveSpMV(..., parallel=...)``); otherwise
+        ``nthreads`` must be given.
+        """
+        from ..parallel import ParallelSpMV
+
+        cfg = self.parallel_config
+        if nthreads is None:
+            if cfg is None:
+                raise ValueError(
+                    "nthreads is required when the plan has no "
+                    "parallel config"
+                )
+            nthreads = cfg.nthreads
+        if schedule is None:
+            schedule = cfg.schedule if cfg is not None else "balanced-nnz"
+        if chunk_rows is None and cfg is not None:
+            chunk_rows = cfg.chunk_rows
+        return ParallelSpMV(self.csr, self.kernel, nthreads=nthreads,
+                            schedule=schedule, chunk_rows=chunk_rows)
 
     def simulate(self, nthreads: int | None = None) -> RunResult:
         """Simulated execution on the target machine."""
@@ -443,11 +474,21 @@ class AdaptiveSpMV:
         plan_cache: "PlanCache | None | bool" = None,
         guard: bool = False,
         stages=None,
+        parallel=None,
     ):
         self.machine = machine
         self.pool = pool or DEFAULT_POOL
         self.nthreads = nthreads
         self.guard = bool(guard)
+        if parallel is not None and not hasattr(parallel, "signature"):
+            raise TypeError(
+                "parallel must be a repro.parallel.ParallelConfig "
+                "(or any object with a signature() method), got "
+                f"{type(parallel).__name__}"
+            )
+        #: optional :class:`~repro.parallel.ParallelConfig`; folded into
+        #: cache keys and attached to optimized operators.
+        self.parallel = parallel
         self.stages = (
             tuple(stages) if stages is not None
             else default_planning_stages()
@@ -486,14 +527,28 @@ class AdaptiveSpMV:
         Every component is a *content* string — no object identities —
         so keys are stable across processes and safe to persist
         (:meth:`PlanCache.save`). The pool contributes its
-        :meth:`~repro.core.pool.OptimizationPool.content_signature`.
+        :meth:`~repro.core.pool.OptimizationPool.content_signature`;
+        the execution configuration (``nthreads`` plus the parallel
+        plane's :meth:`~repro.parallel.ParallelConfig.signature`)
+        contributes the final component, so plans tuned for one thread
+        count / schedule policy are never served for another.
         """
         return (
             fingerprint,
             self.machine.name,
             self.classifier_kind,
             self.pool.content_signature(),
+            self._execution_signature(),
         )
+
+    def _execution_signature(self) -> str:
+        """Content string of the execution configuration axis."""
+        nthreads = "default" if self.nthreads is None else int(self.nthreads)
+        parallel = (
+            self.parallel.signature() if self.parallel is not None
+            else "serial"
+        )
+        return f"nthreads={nthreads};{parallel}"
 
     def _run_stages(self, csr: CSRMatrix, materialize: bool,
                     tracer: Tracer) -> PipelineContext:
@@ -600,6 +655,7 @@ class AdaptiveSpMV:
                     csr=csr, kernel=kernel, data=entry.data,
                     machine=self.machine, plan=plan,
                     workspace=entry.arena(),
+                    parallel_config=self.parallel,
                 )
             # Same structure, new values: the decision is free but the
             # format conversion must re-run and stays charged.
@@ -615,6 +671,7 @@ class AdaptiveSpMV:
                 csr=csr, kernel=kernel, data=data,
                 machine=self.machine, plan=plan,
                 workspace=entry.arena(),
+                parallel_config=self.parallel,
             )
         ctx = self._run_stages(csr, materialize=True, tracer=own_tracer)
         plan = ctx.build_plan()
@@ -628,4 +685,5 @@ class AdaptiveSpMV:
             machine=self.machine,
             plan=plan,
             workspace=entry.arena(),
+            parallel_config=self.parallel,
         )

@@ -26,15 +26,18 @@ from .common import ExperimentTable, PipelineRunner, geometric_mean
 __all__ = [
     "run",
     "bench_kernels",
+    "bench_parallel",
     "measure_steady_allocs",
     "BENCH_SCHEMA_KEYS",
     "ROW_SCHEMA_KEYS",
+    "PARALLEL_ROW_SCHEMA_KEYS",
+    "PARALLEL_THREADS",
 ]
 
 #: Required top-level keys of ``BENCH_kernels.json``.
 BENCH_SCHEMA_KEYS = frozenset(
     {"schema_version", "rhs", "repeats", "suite", "kernels",
-     "geomean_speedup"}
+     "geomean_speedup", "parallel"}
 )
 #: Required keys of every per-kernel measurement row.
 ROW_SCHEMA_KEYS = frozenset(
@@ -42,11 +45,22 @@ ROW_SCHEMA_KEYS = frozenset(
      "batched_gflops", "speedup", "single_allocs",
      "single_steady_peak_bytes", "workspace_hit_rate"}
 )
+#: Required keys of every measured-parallel row.
+PARALLEL_ROW_SCHEMA_KEYS = frozenset(
+    {"matrix", "schedule", "nthreads", "gflops", "wall_seconds",
+     "imbalance", "wall_imbalance", "speedup"}
+)
+
+#: Thread counts swept by the measured-parallel section.
+PARALLEL_THREADS = (1, 2, 4, 8)
 
 #: v2: single-RHS timings run through the zero-allocation ``out=`` /
 #: ``workspace=`` plane and every row records the steady-state
 #: allocation telemetry of one post-warmup apply.
-SCHEMA_VERSION = 2
+#: v3: a ``parallel`` section with *measured* shared-memory runs —
+#: per-thread CPU-time imbalance and wall makespan for every schedule
+#: policy at threads in :data:`PARALLEL_THREADS`.
+SCHEMA_VERSION = 3
 
 
 def measure_steady_allocs(fn, *, min_block_bytes: int = 4096) -> dict:
@@ -106,6 +120,64 @@ def _bench_kernel_variants() -> list[tuple[str, object]]:
     ]
 
 
+def bench_parallel(
+    *,
+    threads: tuple[int, ...] = PARALLEL_THREADS,
+    schedules: tuple[str, ...] | None = None,
+    scale: float = 1.0,
+    repeats: int = 3,
+    matrices: list[tuple[str, CSRMatrix]] | None = None,
+) -> list[dict]:
+    """Measure real threaded SpMV for every schedule policy.
+
+    Each row is one (matrix, schedule, nthreads) cell executed on the
+    shared-memory pool (:class:`~repro.parallel.ParallelSpMV`): the
+    best-of-``repeats`` wall time, its GFLOP/s, the measured per-thread
+    CPU-time imbalance (work skew, robust to core oversubscription),
+    the wall-clock imbalance, and the speedup over the same schedule at
+    one thread. These are *measured* numbers, not cost-plane
+    predictions — the imbalance column is the observed analogue of the
+    model's P_IMB term.
+    """
+    from ..parallel import ParallelSpMV
+    from ..sched import SCHEDULE_POLICIES
+
+    if schedules is None:
+        schedules = tuple(SCHEDULE_POLICIES)
+    if matrices is None:
+        matrices = _bench_matrices(scale)
+    rows: list[dict] = []
+    for mat_name, csr in matrices:
+        x = np.linspace(-1.0, 1.0, csr.ncols)
+        flops = 2.0 * csr.nnz
+        for schedule in schedules:
+            base_wall = None
+            for nthreads in threads:
+                op = ParallelSpMV(csr, nthreads=nthreads,
+                                  schedule=schedule)
+                out = np.empty(csr.nrows)
+                op.matvec(x, out=out)  # warm up pool + workspace
+                best = None
+                for _ in range(max(1, repeats)):
+                    op.matvec(x, out=out)
+                    m = op.last_measurement
+                    if best is None or m.wall_seconds < best.wall_seconds:
+                        best = m
+                if base_wall is None:
+                    base_wall = best.wall_seconds
+                rows.append({
+                    "matrix": mat_name,
+                    "schedule": schedule,
+                    "nthreads": int(nthreads),
+                    "gflops": flops / best.wall_seconds / 1e9,
+                    "wall_seconds": best.wall_seconds,
+                    "imbalance": best.imbalance,
+                    "wall_imbalance": best.wall_imbalance,
+                    "speedup": base_wall / best.wall_seconds,
+                })
+    return rows
+
+
 def bench_kernels(
     *,
     rhs: int = 32,
@@ -113,6 +185,8 @@ def bench_kernels(
     repeats: int = 3,
     matrices: list[tuple[str, CSRMatrix]] | None = None,
     kernels: list[tuple[str, object]] | None = None,
+    threads: tuple[int, ...] = PARALLEL_THREADS,
+    parallel_schedules: tuple[str, ...] | None = None,
 ) -> dict:
     """Measure single-RHS vs batched GFLOP/s for every kernel variant.
 
@@ -193,6 +267,13 @@ def bench_kernels(
         ],
         "kernels": rows,
         "geomean_speedup": geometric_mean([r["speedup"] for r in rows]),
+        "parallel": {
+            "threads": [int(t) for t in threads],
+            "rows": bench_parallel(
+                threads=threads, schedules=parallel_schedules,
+                repeats=repeats, matrices=matrices,
+            ),
+        },
     }
 
 
@@ -204,6 +285,8 @@ def run(
     out_path: str | None = "BENCH_kernels.json",
     matrices: list[tuple[str, CSRMatrix]] | None = None,
     kernels: list[tuple[str, object]] | None = None,
+    threads: tuple[int, ...] = PARALLEL_THREADS,
+    parallel_schedules: tuple[str, ...] | None = None,
 ) -> ExperimentTable:
     """Run the batched-throughput benchmark and render it as a table.
 
@@ -214,6 +297,7 @@ def run(
     payload = bench_kernels(
         rhs=rhs, scale=scale, repeats=repeats,
         matrices=matrices, kernels=kernels,
+        threads=threads, parallel_schedules=parallel_schedules,
     )
     table = ExperimentTable(
         experiment_id="bench-batched",
@@ -232,6 +316,19 @@ def run(
         f"geomean batched speedup {payload['geomean_speedup']:.2f}x "
         f"over {rhs} sequential matvecs (wall-clock, this host)"
     )
+    par = payload["parallel"]
+    tmax = max(par["threads"])
+    for schedule in sorted({r["schedule"] for r in par["rows"]}):
+        cells = [r for r in par["rows"]
+                 if r["schedule"] == schedule and r["nthreads"] == tmax]
+        if not cells:
+            continue
+        imb = geometric_mean([c["imbalance"] for c in cells])
+        spd = geometric_mean([c["speedup"] for c in cells])
+        table.note(
+            f"measured parallel [{schedule}] @ {tmax} threads: "
+            f"CPU-time imbalance {imb:.3f}, wall speedup {spd:.2f}x"
+        )
     if out_path is not None:
         with open(out_path, "w") as fh:
             json.dump(payload, fh, indent=2)

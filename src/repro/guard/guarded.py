@@ -85,6 +85,7 @@ class GuardedKernel(Kernel):
         self.name = inner.name
         self.optimizations = inner.optimizations
         self.schedule = inner.schedule
+        self.row_align = getattr(inner, "row_align", 1)
         #: faults caught by *this wrapper* (the registry aggregates per
         #: variant name across wrappers); exported by pipeline tracers.
         self.failure_events = 0

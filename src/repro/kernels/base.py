@@ -38,6 +38,13 @@ class Kernel(abc.ABC):
     optimizations: tuple[str, ...] = ()
     #: schedule policy name used by :meth:`partition`.
     schedule: str = "balanced-nnz"
+    #: row granularity at which this kernel's execution format can be
+    #: split without changing floating-point association. Row-local
+    #: CSR-family kernels split anywhere (1); blocked/sorted formats
+    #: (BCSR, SELL-C-sigma) regroup rows, so the parallel plane
+    #: (:mod:`repro.parallel`) aligns chunk boundaries to this many
+    #: rows to keep chunked execution bit-identical to serial.
+    row_align: int = 1
 
     # -- preprocessing plane -------------------------------------------
 

@@ -39,6 +39,9 @@ class BCSRSpMV(Kernel):
             raise ValueError("block must be >= 1")
         self.block = int(block)
         self.name = f"bcsr{self.block}x{self.block}"
+        # Rows regroup into r-row blocks: only block-aligned splits
+        # preserve the per-row addend association.
+        self.row_align = self.block
 
     # -- preprocessing -----------------------------------------------------
 

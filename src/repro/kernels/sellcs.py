@@ -35,6 +35,10 @@ class SellCSigmaSpMV(Kernel):
         self.chunk = int(chunk)
         self.sigma = sigma
         self.name = f"sell-{self.chunk}-{sigma if sigma else 32 * chunk}"
+        # The sigma sort window is the regrouping granularity: splits
+        # at window multiples reproduce the serial chunking exactly.
+        self.row_align = max(int(sigma) if sigma else 32 * self.chunk,
+                             self.chunk)
 
     # -- preprocessing ----------------------------------------------------
 

@@ -1,0 +1,29 @@
+"""Real shared-memory parallel SpMV execution plane.
+
+Executes :class:`~repro.sched.base.Partition` objects on a persistent
+:class:`~concurrent.futures.ThreadPoolExecutor` (NumPy's heavy kernels
+release the GIL), making the paper's IMB thread-imbalance analysis
+*measurable* instead of only simulated: the analytical engine predicts
+per-thread times, :class:`ParallelKernel` measures them. See
+docs/parallelism.md.
+"""
+
+from .plane import (
+    ParallelConfig,
+    ParallelData,
+    ParallelKernel,
+    ParallelMeasurement,
+    ParallelSpMV,
+)
+from .pool import active_worker_counts, get_executor, shutdown_executors
+
+__all__ = [
+    "ParallelConfig",
+    "ParallelData",
+    "ParallelKernel",
+    "ParallelMeasurement",
+    "ParallelSpMV",
+    "get_executor",
+    "shutdown_executors",
+    "active_worker_counts",
+]

@@ -1,0 +1,56 @@
+"""Persistent thread-pool management for the parallel execution plane.
+
+A :class:`~concurrent.futures.ThreadPoolExecutor` is expensive to spin
+up relative to one SpMV (thread creation is microseconds-to-
+milliseconds; a chunk apply can be tens of microseconds), so executors
+are created once per worker count and reused for the life of the
+process — the same persistence argument the paper makes for OpenMP's
+thread team. Pools are keyed by worker count: a solver iterating at
+``nthreads=4`` keeps hitting the same four warm threads.
+
+Threads (not processes) are the right substrate here because NumPy
+releases the GIL inside its heavy inner loops (gather/multiply/
+reduceat over large buffers), so row-block workers genuinely overlap;
+see docs/parallelism.md.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+__all__ = ["get_executor", "shutdown_executors", "active_worker_counts"]
+
+_lock = threading.Lock()
+_pools: dict[int, ThreadPoolExecutor] = {}
+
+
+def get_executor(nworkers: int) -> ThreadPoolExecutor:
+    """Return the shared persistent executor with ``nworkers`` threads."""
+    nworkers = int(nworkers)
+    if nworkers < 1:
+        raise ValueError(f"nworkers must be >= 1, got {nworkers}")
+    with _lock:
+        pool = _pools.get(nworkers)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=nworkers,
+                thread_name_prefix=f"repro-par{nworkers}",
+            )
+            _pools[nworkers] = pool
+        return pool
+
+
+def shutdown_executors() -> None:
+    """Shut down and forget every pooled executor (tests, atexit)."""
+    with _lock:
+        pools = list(_pools.values())
+        _pools.clear()
+    for pool in pools:
+        pool.shutdown(wait=True)
+
+
+def active_worker_counts() -> tuple[int, ...]:
+    """Worker counts with a live pooled executor (telemetry/tests)."""
+    with _lock:
+        return tuple(sorted(_pools))

@@ -51,6 +51,9 @@ class PipelineContext:
     setup_seconds: float = 0.0              # transform (modeled cost)
     data: object | None = None              # transform (when materialized)
     result: object | None = None            # execute (RunResult)
+    #: measured parallel run (:class:`~repro.parallel.plane.
+    #: ParallelMeasurement`) when the execute stage ran on the real pool
+    measured: object | None = None          # execute (nthreads= option)
 
     def build_plan(self):
         """Freeze the run's decisions into an :class:`OptimizationPlan`."""

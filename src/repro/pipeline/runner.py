@@ -110,6 +110,40 @@ class PipelineRunner:
                      workspace=self.workspace.counters())
         return operator, ctx.result
 
+    # -- measured parallel execution -----------------------------------
+
+    def measure_parallel(self, kernel, csr: CSRMatrix, nthreads: int,
+                         schedule: str | None = None,
+                         chunk_rows: int | None = None,
+                         repeats: int = 3, data=None):
+        """Run ``kernel`` for real on the shared-memory pool and return
+        ``(result, measurement)``.
+
+        ``result`` is the cost-plane :class:`~repro.machine.engine.
+        RunResult` at ``nthreads`` (the prediction); ``measurement`` is
+        the best-of-``repeats`` :class:`~repro.parallel.plane.
+        ParallelMeasurement` with per-thread wall and CPU times from the
+        actual threaded run. One ``execute`` span carries both, so
+        traces show measured next to predicted imbalance.
+        """
+        machine = self._require_machine()
+        ctx = PipelineContext(
+            csr=csr,
+            machine=machine,
+            classifier=None,
+            classifier_kind="none",
+            pool=None,
+            nthreads=nthreads,
+            tracer=self.tracer,
+        )
+        ctx.kernel = kernel
+        ctx.data = data
+        stage = ExecuteStage(nthreads=nthreads, schedule=schedule,
+                             chunk_rows=chunk_rows, repeats=repeats)
+        with self.tracer.span(stage.name, kernel=kernel.name) as span:
+            stage.run(ctx, span)
+        return ctx.result, ctx.measured
+
     # -- wall-clock timing ---------------------------------------------
 
     def time_seconds(self, fn, repeats: int = 3, reduce: str = "median",

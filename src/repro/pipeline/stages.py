@@ -157,9 +157,30 @@ class TransformStage:
 
 
 class ExecuteStage:
-    """Simulate one kernel execution on the target machine."""
+    """Simulate one kernel execution on the target machine.
+
+    With ``nthreads`` set, additionally *runs* the kernel on the real
+    shared-memory parallel plane (:class:`~repro.parallel.plane.
+    ParallelKernel`) and records the measured per-thread wall and CPU
+    times next to the model's prediction — the span then carries both
+    ``measured_imbalance`` (observed) and ``predicted_imbalance``
+    (cost-plane) for the same thread count.
+    """
 
     name = "execute"
+
+    def __init__(self, nthreads: int | None = None,
+                 schedule: str | None = None,
+                 chunk_rows: int | None = None,
+                 repeats: int = 1):
+        if nthreads is not None and int(nthreads) < 1:
+            raise ValueError("nthreads must be >= 1")
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        self.nthreads = None if nthreads is None else int(nthreads)
+        self.schedule = schedule
+        self.chunk_rows = chunk_rows
+        self.repeats = int(repeats)
 
     def run(self, ctx: PipelineContext, span: Span) -> None:
         if ctx.data is None:
@@ -167,6 +188,46 @@ class ExecuteStage:
         engine = ExecutionEngine(ctx.machine, ctx.nthreads)
         ctx.result = engine.run(ctx.kernel, ctx.data)
         span.set(**ctx.result.summary())
+        if self.nthreads is not None:
+            self._measure(ctx, span)
+
+    def _measure(self, ctx: PipelineContext, span: Span) -> None:
+        """Execute for real on the thread pool; span gets measured vs
+        predicted imbalance at the *measured* thread count."""
+        import numpy as np
+
+        from ..parallel import ParallelKernel
+
+        schedule = self.schedule or getattr(
+            ctx.kernel, "schedule", "balanced-nnz"
+        )
+        pk = ParallelKernel(ctx.kernel, nthreads=self.nthreads,
+                            schedule=schedule,
+                            chunk_rows=self.chunk_rows)
+        pdata = pk.preprocess(ctx.csr)
+        x = np.ones(ctx.csr.ncols)
+        best = None
+        for _ in range(self.repeats):
+            pk.apply(pdata, x)
+            m = pk.last_measurement
+            if best is None or m.wall_seconds < best.wall_seconds:
+                best = m
+        # Predicted imbalance at the same thread count as the run
+        # (ctx.nthreads may differ, e.g. the machine default).
+        predicted = ctx.result
+        if ctx.nthreads != self.nthreads:
+            predicted = ExecutionEngine(ctx.machine, self.nthreads).run(
+                ctx.kernel, ctx.data
+            )
+        ctx.measured = best
+        span.set(
+            measured=best.summary(),
+            measured_imbalance=best.imbalance,
+            measured_wall_imbalance=best.wall_imbalance,
+            predicted_imbalance=predicted.imbalance,
+            parallel_nthreads=best.nthreads,
+            parallel_schedule=best.schedule,
+        )
 
 
 def default_planning_stages() -> tuple[Stage, ...]:

@@ -69,6 +69,27 @@ class Partition:
             return 0
         return int(1 + np.count_nonzero(np.diff(self.thread_of_row) != 0))
 
+    def contiguous_runs(self) -> list[tuple[int, int, int]]:
+        """Maximal contiguous row ranges with a single owner thread.
+
+        Returns ``(lo, hi, tid)`` triples covering ``[0, nrows)`` in
+        order; each range ``[lo, hi)`` is executed by thread ``tid``.
+        This is the execution unit of the real parallel plane
+        (:mod:`repro.parallel`): contiguous ranges preserve the serial
+        per-row reduction order, so chunked execution stays
+        bit-identical to a single-thread sweep.
+        """
+        tor = self.thread_of_row
+        if tor.size == 0:
+            return []
+        cuts = np.flatnonzero(np.diff(tor)) + 1
+        starts = np.concatenate(([0], cuts))
+        stops = np.concatenate((cuts, [tor.size]))
+        return [
+            (int(lo), int(hi), int(tor[lo]))
+            for lo, hi in zip(starts, stops)
+        ]
+
     def validate_covers(self, nrows: int) -> None:
         """Assert the partition covers exactly ``nrows`` rows."""
         if self.nrows != nrows:

@@ -6,6 +6,14 @@ number of nonzero elements" (:func:`balanced_nnz`). The IMB class adds
 the OpenMP ``auto`` schedule (:func:`auto_chunked`, modeled as
 round-robin chunks, which is what practical compilers fall back to) and
 a dynamic work-stealing policy for ablations.
+
+Degenerate shapes are normalized rather than passed through: every
+policy clamps its *effective* thread count to the available work
+(``min(nthreads, nonempty rows)``, floor 1), so asking for 16 threads
+on a 5-row matrix yields a 5-thread partition with contiguous, leading
+thread ids instead of scattering rows over arbitrary ids or collapsing
+everything onto thread 0. A matrix with zero nonzeros always maps all
+rows to one thread with boundaries ``[0, nrows]``.
 """
 
 from __future__ import annotations
@@ -26,13 +34,32 @@ __all__ = [
 ]
 
 
+def _nonempty_rows(csr: CSRMatrix) -> int:
+    """Number of rows with at least one stored nonzero."""
+    return int(np.count_nonzero(np.diff(csr.rowptr)))
+
+
+def _effective_threads(nthreads: int, csr: CSRMatrix) -> int:
+    """Clamp the requested thread count to the rows that carry work.
+
+    More threads than nonzero-carrying rows cannot reduce the critical
+    path (a row is never split), they only create idle workers and —
+    before this clamp — scattered or collapsed assignments that skewed
+    the simulated imbalance. Floor 1 so empty matrices still partition.
+    """
+    return max(1, min(int(nthreads), _nonempty_rows(csr)))
+
+
 def static_rows(nrows: int, nthreads: int) -> Partition:
     """Equal *row counts* per thread, contiguous blocks.
 
     The naive OpenMP ``schedule(static)`` on the row loop: ignores row
-    lengths entirely, so skewed matrices imbalance badly.
+    lengths entirely, so skewed matrices imbalance badly. The effective
+    thread count is clamped to ``min(nthreads, nrows)`` (this policy
+    never sees nnz counts, so it clamps on rows, not nonempty rows).
     """
     check_positive("nthreads", nthreads)
+    nthreads = max(1, min(int(nthreads), int(nrows)))
     bounds = np.linspace(0, nrows, nthreads + 1).astype(np.int64)
     thread_of_row = np.repeat(
         np.arange(nthreads, dtype=np.int32), np.diff(bounds)
@@ -47,18 +74,68 @@ def balanced_nnz(csr: CSRMatrix, nthreads: int) -> Partition:
     Boundaries are placed by binary search on the cumulative nonzero
     counts; a row is never split, so a single huge row still lands on a
     single thread — exactly the residual imbalance the decomposition
-    optimization targets.
+    optimization targets. The effective thread count is clamped to the
+    nonempty rows (degenerate oversubscription), and duplicate
+    boundaries caused by monster rows are repaired so every surviving
+    thread owns at least one row — the thread count itself is
+    preserved, keeping the modeled per-thread aggregates comparable
+    across matrices while the real executor never sees a thread with
+    an empty row range.
     """
     check_positive("nthreads", nthreads)
-    targets = np.linspace(0, csr.nnz, nthreads + 1)
+    nrows = csr.nrows
+    if nrows == 0:
+        return Partition(1, np.empty(0, dtype=np.int32), kind="balanced-nnz",
+                         boundaries=np.array([0, 0], dtype=np.int64))
+    if csr.nnz == 0:
+        # searchsorted on a flat rowptr would put every boundary at 0;
+        # defined behavior instead: all rows on thread 0.
+        return Partition(1, np.zeros(nrows, dtype=np.int32),
+                         kind="balanced-nnz",
+                         boundaries=np.array([0, nrows], dtype=np.int64))
+    neff = _effective_threads(nthreads, csr)
+    targets = np.linspace(0, csr.nnz, neff + 1)
     bounds = np.searchsorted(csr.rowptr, targets, side="left").astype(np.int64)
-    bounds[0], bounds[-1] = 0, csr.nrows
+    bounds[0], bounds[-1] = 0, nrows
     bounds = np.maximum.accumulate(bounds)
+    # Repair duplicate boundaries into strictly increasing ones:
+    # shifting by the index turns "strictly increasing" into
+    # "non-decreasing", which maximum.accumulate enforces; the clip
+    # keeps the tail inside the matrix. Feasible because
+    # neff <= nonempty rows <= nrows.
+    shift = np.arange(neff + 1, dtype=np.int64)
+    bounds = np.minimum(
+        np.maximum.accumulate(bounds - shift), nrows - neff
+    ) + shift
     thread_of_row = np.repeat(
-        np.arange(nthreads, dtype=np.int32), np.diff(bounds)
+        np.arange(neff, dtype=np.int32), np.diff(bounds)
     )
-    return Partition(nthreads, thread_of_row, kind="balanced-nnz",
+    return Partition(neff, thread_of_row, kind="balanced-nnz",
                      boundaries=bounds)
+
+
+def _chunked(csr: CSRMatrix, nthreads: int, chunk_rows: int | None,
+             *, kind: str, divisor: int, floor: int) -> Partition:
+    """Shared round-robin chunk assignment for auto/dynamic schedules."""
+    check_positive("nthreads", nthreads)
+    nrows = csr.nrows
+    neff = _effective_threads(nthreads, csr)
+    if chunk_rows is None:
+        # Automatic granularity. The clamp to nrows // neff guarantees
+        # at least neff chunks, so every effective thread receives work
+        # (before it, small matrices collapsed onto thread 0 because
+        # the floor exceeded the whole matrix).
+        chunk_rows = int(max(nrows // (neff * divisor), floor))
+        if nrows >= neff > 0:
+            chunk_rows = min(chunk_rows, nrows // neff)
+    chunk_rows = max(int(chunk_rows), 1)
+    chunk_ids = np.arange(nrows, dtype=np.int64) // chunk_rows
+    nchunks = int(chunk_ids[-1]) + 1 if nrows else 0
+    # An explicit oversized chunk_rows can still yield fewer chunks
+    # than threads; shrink the thread count so ids stay leading.
+    neff = max(1, min(neff, nchunks)) if nrows else 1
+    thread_of_row = (chunk_ids % neff).astype(np.int32)
+    return Partition(neff, thread_of_row, kind=kind, chunk_rows=chunk_rows)
 
 
 def auto_chunked(csr: CSRMatrix, nthreads: int,
@@ -70,15 +147,8 @@ def auto_chunked(csr: CSRMatrix, nthreads: int,
     averages out *computational unevenness* (regions with different
     sparsity), the second IMB subcategory.
     """
-    check_positive("nthreads", nthreads)
-    nrows = csr.nrows
-    if chunk_rows is None:
-        chunk_rows = int(max(nrows // (nthreads * 16), 8))
-    chunk_rows = max(int(chunk_rows), 1)
-    chunk_ids = np.arange(nrows, dtype=np.int64) // chunk_rows
-    thread_of_row = (chunk_ids % nthreads).astype(np.int32)
-    return Partition(nthreads, thread_of_row, kind="auto",
-                     chunk_rows=chunk_rows)
+    return _chunked(csr, nthreads, chunk_rows, kind="auto",
+                    divisor=16, floor=8)
 
 
 def dynamic_chunks(csr: CSRMatrix, nthreads: int,
@@ -86,19 +156,13 @@ def dynamic_chunks(csr: CSRMatrix, nthreads: int,
     """Work-stealing dynamic schedule (ablation baseline).
 
     The row->thread map records the static round-robin *seed*
-    assignment, but ``kind == "dynamic"`` tells the engine to rebalance
-    per-thread times as a work-stealing runtime would, charging a
-    per-chunk dispatch overhead.
+    assignment, but ``kind == "dynamic"`` tells the engine (and the
+    real parallel plane in :mod:`repro.parallel`) to rebalance chunks
+    across threads at execution time, charging a per-chunk dispatch
+    overhead.
     """
-    check_positive("nthreads", nthreads)
-    nrows = csr.nrows
-    if chunk_rows is None:
-        chunk_rows = int(max(nrows // (nthreads * 32), 4))
-    chunk_rows = max(int(chunk_rows), 1)
-    chunk_ids = np.arange(nrows, dtype=np.int64) // chunk_rows
-    thread_of_row = (chunk_ids % nthreads).astype(np.int32)
-    return Partition(nthreads, thread_of_row, kind="dynamic",
-                     chunk_rows=chunk_rows)
+    return _chunked(csr, nthreads, chunk_rows, kind="dynamic",
+                    divisor=32, floor=4)
 
 
 SCHEDULE_POLICIES = {

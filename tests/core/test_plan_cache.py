@@ -213,3 +213,67 @@ def test_different_machines_do_not_share_plans(small_random_csr):
     a.optimize(small_random_csr)
     op = b.optimize(small_random_csr)
     assert not op.plan.cache_hit
+
+
+# -- execution-configuration axis (nthreads / parallel config) ---------
+
+
+def test_execution_config_partitions_cache(small_random_csr):
+    """Plans tuned for one parallel configuration must never be served
+    for another: nthreads and the parallel signature are key axes."""
+    from repro.parallel import ParallelConfig
+
+    shared = PlanCache()
+    serial = AdaptiveSpMV(KNL, classifier="profile", plan_cache=shared)
+    threaded = AdaptiveSpMV(
+        KNL, classifier="profile", plan_cache=shared,
+        parallel=ParallelConfig(4, "balanced-nnz"),
+    )
+    serial.optimize(small_random_csr)
+    op = threaded.optimize(small_random_csr)
+    assert not op.plan.cache_hit  # different execution signature
+    # same config again -> hit
+    assert threaded.optimize(small_random_csr).plan.cache_hit
+    # different schedule under the same thread count -> miss
+    other = AdaptiveSpMV(
+        KNL, classifier="profile", plan_cache=shared,
+        parallel=ParallelConfig(4, "static-rows"),
+    )
+    assert not other.optimize(small_random_csr).plan.cache_hit
+
+
+def test_nthreads_partitions_cache(small_random_csr):
+    shared = PlanCache()
+    a = AdaptiveSpMV(KNL, classifier="profile", plan_cache=shared,
+                     nthreads=2)
+    b = AdaptiveSpMV(KNL, classifier="profile", plan_cache=shared,
+                     nthreads=8)
+    a.optimize(small_random_csr)
+    assert not b.optimize(small_random_csr).plan.cache_hit
+    assert b.optimize(small_random_csr).plan.cache_hit
+
+
+def test_parallel_operator_from_optimized(small_random_csr, x300):
+    """An optimizer built with a parallel config hands out operators
+    whose ``parallel_operator()`` runs on the configured pool,
+    bit-identical to the planned serial numeric plane."""
+    from repro.parallel import ParallelConfig
+
+    opt = AdaptiveSpMV(KNL, classifier="profile",
+                       parallel=ParallelConfig(4, "balanced-nnz"))
+    op = opt.optimize(small_random_csr)
+    par = op.parallel_operator()
+    np.testing.assert_array_equal(
+        par.matvec(x300), small_random_csr.matvec(x300)
+    )
+    assert par.nthreads <= 4
+
+
+def test_parallel_operator_requires_config(small_random_csr):
+    opt = AdaptiveSpMV(KNL, classifier="profile")
+    op = opt.optimize(small_random_csr)
+    with pytest.raises(ValueError):
+        op.parallel_operator()
+    # explicit nthreads works without a stored config
+    par = op.parallel_operator(nthreads=2)
+    assert par.nthreads <= 2

@@ -1,0 +1,202 @@
+"""The shared-memory parallel plane: bit-identity, contracts, telemetry.
+
+The headline invariant: a parallel matvec over contiguous row chunks is
+*bit-identical* to the serial kernel for every format, schedule policy
+and thread count — each row's sum is computed by exactly one chunk from
+that row's own nonzeros in stored order, and blocked/sorted formats
+(BCSR, SELL-C-sigma) snap chunk boundaries to their regrouping
+granularity (``row_align``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.guard.guarded import GuardedKernel
+from repro.kernels import baseline_kernel, merged_pool_kernel
+from repro.kernels.bcsr import BCSRSpMV
+from repro.kernels.sellcs import SellCSigmaSpMV
+from repro.parallel import (
+    ParallelConfig,
+    ParallelKernel,
+    ParallelSpMV,
+    active_worker_counts,
+    get_executor,
+)
+from repro.sched import SCHEDULE_POLICIES
+
+
+def _variants():
+    return [
+        ("csr", baseline_kernel()),
+        ("csr+delta", merged_pool_kernel(("compression",))),
+        ("csr+split", merged_pool_kernel(("decomposition",))),
+        ("csr+unroll", merged_pool_kernel(("unrolling",))),
+        ("bcsr2", BCSRSpMV(block=2)),
+        ("bcsr3", BCSRSpMV(block=3)),
+        ("sell-4", SellCSigmaSpMV(chunk=4)),
+        ("sell-8-64", SellCSigmaSpMV(chunk=8, sigma=64)),
+    ]
+
+
+@pytest.fixture(scope="module", params=["skewed", "banded", "empty-rows"])
+def matrix(request, skewed_csr, banded_csr, empty_row_csr):
+    return {
+        "skewed": skewed_csr,
+        "banded": banded_csr,
+        "empty-rows": empty_row_csr,
+    }[request.param]
+
+
+@pytest.mark.parametrize("name,kernel", _variants(),
+                         ids=[n for n, _ in _variants()])
+@pytest.mark.parametrize("nthreads", [1, 2, 3, 8])
+def test_matvec_bit_identical_every_kernel(name, kernel, nthreads,
+                                           matrix, rng):
+    x = rng.standard_normal(matrix.ncols)
+    serial = kernel.apply(kernel.preprocess(matrix), x)
+    pk = ParallelKernel(kernel, nthreads=nthreads)
+    got = pk.apply(pk.preprocess(matrix), x)
+    np.testing.assert_array_equal(got, serial)
+
+
+@pytest.mark.parametrize("schedule", sorted(SCHEDULE_POLICIES))
+@pytest.mark.parametrize("nthreads", [1, 2, 4, 8, 64])
+def test_matvec_bit_identical_every_schedule(schedule, nthreads,
+                                             skewed_csr, rng):
+    x = rng.standard_normal(skewed_csr.ncols)
+    kernel = baseline_kernel()
+    serial = kernel.apply(kernel.preprocess(skewed_csr), x)
+    pk = ParallelKernel(kernel, nthreads=nthreads, schedule=schedule)
+    data = pk.preprocess(skewed_csr)
+    for _ in range(2):  # dynamic assignment may differ run to run
+        got = pk.apply(data, x)
+        np.testing.assert_array_equal(got, serial)
+
+
+def test_matmat_matches_serial_tightly(banded_csr, rng):
+    """Multi-RHS goes through block kernels whose internal summation
+    may reassociate between chunk sizes; assert a tight tolerance
+    rather than bit-equality (matvec stays bit-identical)."""
+    X = rng.standard_normal((banded_csr.ncols, 5))
+    kernel = baseline_kernel()
+    serial = kernel.apply_multi(kernel.preprocess(banded_csr), X)
+    pk = ParallelKernel(kernel, nthreads=4)
+    got = pk.apply_multi(pk.preprocess(banded_csr), X)
+    np.testing.assert_allclose(got, serial, rtol=1e-14, atol=1e-14)
+
+
+def test_out_buffer_contract(skewed_csr, rng):
+    x = rng.standard_normal(skewed_csr.ncols)
+    pk = ParallelKernel(baseline_kernel(), nthreads=4)
+    data = pk.preprocess(skewed_csr)
+    out = np.empty(skewed_csr.nrows)
+    got = pk.apply(data, x, out=out)
+    assert got is out
+    np.testing.assert_array_equal(out, pk.apply(data, x))
+    with pytest.raises(ValueError):
+        pk.apply(data, x, out=np.empty(skewed_csr.nrows + 1))
+
+
+def test_row_align_snaps_boundaries(banded_csr):
+    for kernel in (BCSRSpMV(block=3), SellCSigmaSpMV(chunk=4, sigma=32)):
+        align = kernel.row_align
+        assert align > 1
+        pk = ParallelKernel(kernel, nthreads=7)
+        data = pk.preprocess(banded_csr)
+        for chunk in data.chunks:
+            assert chunk.lo % align == 0 or chunk.lo == 0
+            assert chunk.hi % align == 0 or chunk.hi == banded_csr.nrows
+
+
+def test_guard_composes_both_orders(skewed_csr, rng):
+    x = rng.standard_normal(skewed_csr.ncols)
+    base = baseline_kernel()
+    serial = base.apply(base.preprocess(skewed_csr), x)
+
+    outer = GuardedKernel(ParallelKernel(base, nthreads=4))
+    np.testing.assert_array_equal(
+        outer.apply(outer.preprocess(skewed_csr), x), serial
+    )
+    inner = ParallelKernel(GuardedKernel(base), nthreads=4)
+    np.testing.assert_array_equal(
+        inner.apply(inner.preprocess(skewed_csr), x), serial
+    )
+
+
+def test_worker_exception_propagates(skewed_csr):
+    pk = ParallelKernel(baseline_kernel(), nthreads=4)
+    data = pk.preprocess(skewed_csr)
+    with pytest.raises(ValueError):
+        pk.apply(data, np.ones(skewed_csr.ncols + 3))
+
+
+def test_measurement_recorded(skewed_csr, rng):
+    x = rng.standard_normal(skewed_csr.ncols)
+    pk = ParallelKernel(baseline_kernel(), nthreads=4)
+    data = pk.preprocess(skewed_csr)
+    assert pk.last_measurement is None
+    pk.apply(data, x)
+    m = pk.last_measurement
+    assert m.nthreads == 4
+    assert len(m.thread_wall_seconds) == 4
+    assert len(m.thread_cpu_seconds) == 4
+    assert sum(m.chunks_per_thread) == len(data.chunks)
+    assert m.imbalance >= 1.0
+    assert m.wall_imbalance >= 1.0
+    assert m.wall_seconds > 0.0
+    s = m.summary()
+    assert s["schedule"] == "balanced-nnz"
+    assert s["imbalance"] == m.imbalance
+
+
+def test_dynamic_schedule_drains_queue(skewed_csr, rng):
+    x = rng.standard_normal(skewed_csr.ncols)
+    pk = ParallelKernel(baseline_kernel(), nthreads=4,
+                        schedule="dynamic")
+    data = pk.preprocess(skewed_csr)
+    assert data.partition.is_dynamic
+    serial = skewed_csr.matvec(x)
+    np.testing.assert_array_equal(pk.apply(data, x), serial)
+    assert sum(pk.last_measurement.chunks_per_thread) == len(data.chunks)
+    assert pk.last_measurement.dynamic
+
+
+def test_executor_pool_reused():
+    first = get_executor(3)
+    assert get_executor(3) is first
+    assert 3 in active_worker_counts()
+
+
+def test_parallel_spmv_facade(skewed_csr, rng):
+    x = rng.standard_normal(skewed_csr.ncols)
+    op = ParallelSpMV(skewed_csr, nthreads=4, guard=True)
+    np.testing.assert_array_equal(op.matvec(x), skewed_csr.matvec(x))
+    np.testing.assert_array_equal(op @ x, skewed_csr.matvec(x))
+    X = rng.standard_normal((skewed_csr.ncols, 3))
+    np.testing.assert_allclose(op.matmat(X), skewed_csr.matmat(X),
+                               rtol=1e-14, atol=1e-14)
+    assert op.shape == skewed_csr.shape
+    assert op.nthreads <= 4
+    assert op.last_measurement is not None
+
+
+def test_config_signature_stable():
+    cfg = ParallelConfig(4, "static-rows", None)
+    assert cfg.signature() == (
+        "parallel:nthreads=4,schedule=static-rows,chunk_rows=auto"
+    )
+    assert ParallelConfig(4, "static-rows", 64).signature() != (
+        cfg.signature()
+    )
+    with pytest.raises(ValueError):
+        ParallelConfig(0)
+
+
+def test_oversubscribed_threads_clamp(empty_row_csr, rng):
+    """More threads than (non-empty) rows must execute correctly."""
+    x = rng.standard_normal(empty_row_csr.ncols)
+    pk = ParallelKernel(baseline_kernel(), nthreads=64)
+    data = pk.preprocess(empty_row_csr)
+    assert data.nthreads <= empty_row_csr.nrows
+    np.testing.assert_array_equal(pk.apply(data, x),
+                                  empty_row_csr.matvec(x))

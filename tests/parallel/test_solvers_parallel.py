@@ -1,0 +1,65 @@
+"""Solvers through the parallel plane: bit-identical residual history.
+
+``ParallelSpMV`` exposes the ``matvec(x, out=, workspace=)`` surface
+that :func:`repro.solvers.base.as_matvec_into` probes, so CG/GMRES run
+their hot-loop matvecs on the thread pool with zero solver changes.
+Because chunked execution preserves the serial reduction order, the
+iterates — and therefore every recorded residual — must match the
+serial solve bit for bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.parallel import ParallelSpMV
+from repro.solvers import cg, gmres
+
+
+@pytest.fixture(scope="module")
+def spd():
+    from repro.matrices.generators import poisson2d
+
+    return poisson2d(24)
+
+
+@pytest.fixture(scope="module")
+def rhs(spd, rng):
+    return rng.standard_normal(spd.nrows)
+
+
+@pytest.mark.parametrize("nthreads", [2, 4])
+def test_cg_residuals_bit_identical(spd, rhs, nthreads):
+    serial = cg(spd, rhs, tol=1e-10, maxiter=400)
+    par = cg(ParallelSpMV(spd, nthreads=nthreads), rhs,
+             tol=1e-10, maxiter=400)
+    assert par.converged == serial.converged
+    assert par.iterations == serial.iterations
+    np.testing.assert_array_equal(par.x, serial.x)
+    np.testing.assert_array_equal(
+        np.asarray(par.residual_history),
+        np.asarray(serial.residual_history),
+    )
+
+
+@pytest.mark.parametrize("nthreads", [2, 4])
+def test_gmres_residuals_bit_identical(spd, rhs, nthreads):
+    serial = gmres(spd, rhs, tol=1e-10, restart=20, maxiter=200)
+    par = gmres(ParallelSpMV(spd, nthreads=nthreads), rhs,
+                tol=1e-10, restart=20, maxiter=200)
+    assert par.converged == serial.converged
+    assert par.iterations == serial.iterations
+    np.testing.assert_array_equal(par.x, serial.x)
+    np.testing.assert_array_equal(
+        np.asarray(par.residual_history),
+        np.asarray(serial.residual_history),
+    )
+
+
+def test_cg_dynamic_schedule_identical(spd, rhs):
+    serial = cg(spd, rhs, tol=1e-10, maxiter=400)
+    par = cg(ParallelSpMV(spd, nthreads=3, schedule="dynamic"), rhs,
+             tol=1e-10, maxiter=400)
+    np.testing.assert_array_equal(
+        np.asarray(par.residual_history),
+        np.asarray(serial.residual_history),
+    )

@@ -1,0 +1,84 @@
+"""Thread-local :class:`~repro.memory.Workspace` arenas.
+
+Pool workers each get a private buffer store (no cross-thread buffer
+sharing, no locking on the hot path), while the aggregate counters
+still report totals across every per-thread store.
+"""
+
+import threading
+
+import numpy as np
+
+from repro.memory import Workspace
+
+
+def test_shared_default_unchanged():
+    ws = Workspace()
+    assert not ws.thread_local
+    a = ws.buffer("y", (8,), np.float64)
+    b = ws.buffer("y", (8,), np.float64)
+    assert a is b
+    assert ws.hits == 1 and ws.misses == 1
+
+
+def test_thread_local_stores_are_private():
+    ws = Workspace(thread_local=True)
+    assert ws.thread_local
+    main = ws.buffer("y", (16,), np.float64)
+    seen = {}
+
+    def worker(key):
+        seen[key] = ws.buffer("y", (16,), np.float64)
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    buffers = list(seen.values()) + [main]
+    for i, a in enumerate(buffers):
+        for b in buffers[i + 1:]:
+            assert a is not b, "buffer shared across threads"
+    # one store per thread that touched the arena
+    assert ws.counters()["stores"] == 4
+    # every request was a fresh miss in its own store
+    assert ws.misses == 4 and ws.hits == 0
+
+
+def test_thread_local_counters_aggregate():
+    ws = Workspace(thread_local=True)
+
+    def worker():
+        ws.buffer("t", (4,), np.float64)
+        ws.buffer("t", (4,), np.float64)  # hit within the same thread
+
+    ts = [threading.Thread(target=worker) for _ in range(2)]
+    for t in ts:
+        t.start()
+    for t in ts:
+        t.join()
+    assert ws.misses == 2
+    assert ws.hits == 2
+    assert ws.nbuffers == 2
+    counters = ws.counters()
+    assert counters["thread_local"] is True
+    assert counters["stores"] == 2
+
+
+def test_reset_and_clear_cover_all_stores():
+    ws = Workspace(thread_local=True)
+    ws.buffer("a", (4,), np.float64)
+
+    def worker():
+        ws.buffer("b", (4,), np.float64)
+
+    t = threading.Thread(target=worker)
+    t.start()
+    t.join()
+    assert ws.nbuffers == 2
+    ws.reset_stats()
+    assert ws.hits == 0 and ws.misses == 0
+    assert ws.nbuffers == 2  # stats reset keeps buffers
+    ws.clear()
+    assert ws.nbuffers == 0

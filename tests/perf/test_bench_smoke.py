@@ -11,9 +11,11 @@ import numpy as np
 
 from repro.experiments.bench_batched import (
     BENCH_SCHEMA_KEYS,
+    PARALLEL_ROW_SCHEMA_KEYS,
     ROW_SCHEMA_KEYS,
     SCHEMA_VERSION,
     bench_kernels,
+    bench_parallel,
     run,
 )
 from repro.matrices.generators import banded, random_uniform
@@ -42,6 +44,18 @@ def _validate(payload):
         assert row["single_steady_peak_bytes"] >= 0
         assert 0.0 <= row["workspace_hit_rate"] <= 1.0
     assert payload["geomean_speedup"] > 0.0
+    par = payload["parallel"]
+    assert par["threads"], "no parallel thread counts"
+    assert par["rows"], "no measured-parallel rows"
+    for row in par["rows"]:
+        assert PARALLEL_ROW_SCHEMA_KEYS <= row.keys()
+        assert row["matrix"] in matrices
+        assert row["nthreads"] in par["threads"]
+        assert row["gflops"] > 0.0
+        assert row["wall_seconds"] >= 0.0
+        assert row["imbalance"] >= 1.0
+        assert row["wall_imbalance"] >= 1.0
+        assert row["speedup"] > 0.0
 
 
 def test_bench_payload_schema():
@@ -77,3 +91,17 @@ def test_bench_rejects_bad_rhs():
 
     with pytest.raises(ValueError, match="rhs"):
         bench_kernels(rhs=0, matrices=TINY)
+
+
+def test_bench_parallel_covers_grid():
+    rows = bench_parallel(threads=(1, 2), repeats=1, matrices=TINY,
+                          schedules=("static-rows", "balanced-nnz"))
+    # full (matrix x schedule x threads) grid, nothing silently dropped
+    assert len(rows) == len(TINY) * 2 * 2
+    cells = {(r["matrix"], r["schedule"], r["nthreads"]) for r in rows}
+    assert len(cells) == len(rows)
+    # the t=1 baseline rows define speedup 1.0
+    for r in rows:
+        if r["nthreads"] == 1:
+            assert r["speedup"] == 1.0
+            assert r["imbalance"] == 1.0

@@ -31,9 +31,12 @@ def test_balanced_nnz_contiguity_and_balance(csr, nthreads):
     p = balanced_nnz(csr, nthreads)
     # contiguous: thread ids never decrease along rows
     assert np.all(np.diff(p.thread_of_row) >= 0)
+    assert 1 <= p.nthreads <= max(nthreads, 1)
     per_thread = p.thread_sums(csr.row_nnz().astype(float))
     if csr.nnz:
-        fair = csr.nnz / nthreads
+        # fair share over the *effective* thread count: degenerate
+        # requests (more threads than nonempty rows) clamp
+        fair = csr.nnz / p.nthreads
         max_row = csr.row_nnz().max()
         # no thread exceeds fair share by more than one row's worth
         assert per_thread.max() <= fair + max_row + 1e-9
@@ -49,4 +52,6 @@ def test_auto_chunk_sizes(csr, nthreads, chunk):
         change = np.flatnonzero(np.diff(tor) != 0)
         run_bounds = np.concatenate(([0], change + 1, [tor.size]))
         runs = np.diff(run_bounds)
-        assert runs.max() <= max(chunk, 1) or nthreads == 1
+        # with a single effective thread (nthreads == 1, or degenerate
+        # clamping e.g. on zero-nnz matrices) the whole matrix is one run
+        assert runs.max() <= max(chunk, 1) or p.nthreads == 1

@@ -1,0 +1,136 @@
+"""Regression tests for degenerate partitions.
+
+Before the shared-memory parallel plane landed, two families of inputs
+produced broken partitions that only the *real* executor noticed:
+
+* ``nthreads > nrows`` — ``balanced_nnz`` returned a partition that
+  claimed 16 threads over 5 rows, so 11 "threads" owned zero rows and
+  per-thread aggregates divided by the wrong count;
+* all-empty / zero-nnz matrices — the nnz-proportional split placed
+  every cumulative boundary at 0, producing non-monotonic boundaries
+  and thread ids that skipped numbers.
+
+Every schedule policy must now clamp to the useful parallelism: thread
+ids are contiguous from 0, every thread owns at least one row (when
+rows exist at all), and boundaries — when present — are strictly
+increasing and cover ``[0, nrows]``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix
+from repro.sched import SCHEDULE_POLICIES, balanced_nnz, make_partition
+
+
+def _zero_nnz(nrows: int) -> CSRMatrix:
+    return CSRMatrix(
+        np.zeros(nrows + 1, dtype=np.int64),
+        np.zeros(0, dtype=np.int32),
+        np.zeros(0),
+        (nrows, max(nrows, 1)),
+    )
+
+
+def _single_row() -> CSRMatrix:
+    return CSRMatrix(
+        np.array([0, 3], dtype=np.int64),
+        np.array([0, 1, 2], dtype=np.int32),
+        np.array([1.0, 2.0, 3.0]),
+        (1, 3),
+    )
+
+
+def _leading_empty() -> CSRMatrix:
+    """First 8 rows empty, then 4 populated rows."""
+    rowptr = np.concatenate(
+        (np.zeros(9, dtype=np.int64), np.array([2, 4, 6, 8], dtype=np.int64))
+    )
+    return CSRMatrix(
+        rowptr,
+        np.tile(np.array([0, 1], dtype=np.int32), 4),
+        np.arange(1.0, 9.0),
+        (12, 4),
+    )
+
+
+def _trailing_empty() -> CSRMatrix:
+    """4 populated rows, then 8 empty rows."""
+    rowptr = np.concatenate(
+        (np.array([0, 2, 4, 6, 8], dtype=np.int64),
+         np.full(8, 8, dtype=np.int64))
+    )
+    return CSRMatrix(
+        rowptr,
+        np.tile(np.array([0, 1], dtype=np.int32), 4),
+        np.arange(1.0, 9.0),
+        (12, 4),
+    )
+
+
+DEGENERATE = {
+    "zero-nnz": _zero_nnz(10),
+    "single-row": _single_row(),
+    "leading-empty": _leading_empty(),
+    "trailing-empty": _trailing_empty(),
+}
+
+
+def _check_partition(p, csr):
+    """The invariants every policy must uphold on any input."""
+    p.validate_covers(csr.nrows)
+    tor = p.thread_of_row
+    if tor.size:
+        used = np.unique(tor)
+        # ids contiguous from 0 and within the declared count
+        assert used[0] == 0
+        assert used[-1] == used.size - 1
+        assert p.nthreads >= used.size
+        # no declared thread without rows: the executor sizes its
+        # per-thread chunk lists from nthreads
+        counts = np.bincount(tor, minlength=p.nthreads)
+        assert counts.min() >= 1, f"empty thread in {counts}"
+    if p.boundaries is not None:
+        b = np.asarray(p.boundaries)
+        assert b[0] == 0 and b[-1] == csr.nrows
+        assert np.all(np.diff(b) > 0) or csr.nrows == 0
+
+
+@pytest.mark.parametrize("schedule", sorted(SCHEDULE_POLICIES))
+@pytest.mark.parametrize("name", sorted(DEGENERATE))
+@pytest.mark.parametrize("nthreads", [1, 2, 5, 16, 64])
+def test_degenerate_inputs_every_policy(schedule, name, nthreads):
+    csr = DEGENERATE[name]
+    p = make_partition(csr, nthreads, schedule)
+    _check_partition(p, csr)
+
+
+@pytest.mark.parametrize("schedule", sorted(SCHEDULE_POLICIES))
+def test_oversubscribed_clamps(schedule, banded_csr):
+    """nthreads > nrows must clamp, not fabricate empty threads."""
+    sub = banded_csr.submatrix_rows(0, 7)
+    p = make_partition(sub, 1000, schedule)
+    _check_partition(p, sub)
+    assert p.nthreads <= 7
+
+
+def test_zero_nnz_balanced_boundaries():
+    """The original bug: cumulative-nnz targets all hit zero."""
+    csr = _zero_nnz(50)
+    p = balanced_nnz(csr, 8)
+    # all rows collapse onto thread 0 — there is no nnz to balance
+    assert p.nthreads == 1
+    assert np.all(p.thread_of_row == 0)
+    assert p.boundaries is not None
+    assert list(p.boundaries) == [0, 50]
+
+
+def test_contiguous_runs_cover_in_order(skewed_csr):
+    for schedule in SCHEDULE_POLICIES:
+        p = make_partition(skewed_csr, 6, schedule)
+        runs = p.contiguous_runs()
+        assert runs[0][0] == 0
+        assert runs[-1][1] == skewed_csr.nrows
+        for (lo, hi, tid), (lo2, _hi2, tid2) in zip(runs, runs[1:]):
+            assert hi == lo2
+            assert tid != tid2
