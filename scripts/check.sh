@@ -1,29 +1,39 @@
 #!/bin/sh
-# Full local gate: lint + tier-1 tests + perf smoke + parallel smoke.
+# Full local gate: lint + tier-1 tests + perf smoke + parallel smoke +
+# fault suite + watchdog smoke.
 #
 # One command that runs everything CI checks, in the order that fails
 # fastest: the lint gate (scripts/lint.sh: ruff, or a byte-compile
 # fallback on minimal images), then the tier-1 pytest suite, then the
 # tests/perf smoke pass (benchmark-harness schema and the
 # zero-allocation steady-state asserts), then the measured-parallel
-# smoke gate: real thread-pool execution at nthreads=2 asserting the
-# measured per-thread CPU-time imbalance sanity (balanced-nnz must not
-# lose to static-rows on a skewed matrix). Exit status is the first
-# failing stage's.
+# smoke gate (real thread-pool execution at nthreads=2 asserting the
+# measured per-thread CPU-time imbalance sanity), then the full
+# fault-injection suite with *warnings promoted to errors* (a stray
+# RuntimeWarning inside a recovery path is a silent NaN leak), and
+# finally the hang-injection watchdog smoke proving a hung worker is
+# timed out and degraded within the deadline budget instead of
+# blocking the caller. Exit status is the first failing stage's.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "check: stage 1/4 lint"
+echo "check: stage 1/6 lint"
 sh scripts/lint.sh
 
-echo "check: stage 2/4 tier-1 tests"
+echo "check: stage 2/6 tier-1 tests"
 PYTHONPATH=src python -m pytest -x -q --ignore=tests/perf
 
-echo "check: stage 3/4 perf smoke"
+echo "check: stage 3/6 perf smoke"
 PYTHONPATH=src python -m pytest -x -q tests/perf
 
-echo "check: stage 4/4 measured-parallel smoke (nthreads=2)"
+echo "check: stage 4/6 measured-parallel smoke (nthreads=2)"
 PYTHONPATH=src python -m pytest -x -q -m perf_smoke tests/perf/test_parallel_smoke.py
+
+echo "check: stage 5/6 fault suite (warnings as errors)"
+PYTHONPATH=src python -m pytest -x -q -W error::RuntimeWarning tests/faults
+
+echo "check: stage 6/6 hang-injection watchdog smoke"
+PYTHONPATH=src python -m pytest -x -q -k watchdog tests/faults/test_parallel_faults.py
 
 echo "check: all stages passed"

@@ -149,6 +149,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="timing repetitions (best wall is kept)")
     p_par.add_argument("--guard", action="store_true",
                        help="compose the guard wrapper under the pool")
+    p_par.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-apply deadline budget in milliseconds; "
+                       "a breached run degrades through the supervision "
+                       "ladder instead of blocking")
+    p_par.add_argument("--max-retries", type=int, default=2,
+                       help="reduced-width retries before the serial "
+                       "fallback (default 2)")
 
     sub.add_parser("experiments", help="list experiment ids")
 
@@ -364,21 +371,37 @@ def _cmd_parallel(args) -> int:
         from .guard.guarded import GuardedKernel
 
         kernel = GuardedKernel(kernel)
+    deadline_seconds = (
+        None if args.deadline_ms is None else args.deadline_ms / 1e3
+    )
     runner = PipelineRunner(machine)
     rows = []
+    ladders = []
     for schedule in schedules:
         for nthreads in threads:
-            result, meas = runner.measure_parallel(
+            result, meas, report = runner.measure_parallel(
                 kernel, csr, nthreads, schedule=schedule,
                 repeats=args.repeats,
+                deadline_seconds=deadline_seconds,
+                max_retries=args.max_retries,
             )
-            rows.append((
-                schedule, meas.nthreads,
-                float(1e3 * meas.wall_seconds),
-                float(meas.imbalance),
-                float(meas.wall_imbalance),
-                float(result.imbalance),
-            ))
+            if meas is not None:
+                rows.append((
+                    schedule, meas.nthreads,
+                    float(1e3 * meas.wall_seconds),
+                    float(meas.imbalance),
+                    float(meas.wall_imbalance),
+                    float(result.imbalance),
+                ))
+            else:
+                rows.append((
+                    schedule, "serial",
+                    float(1e3 * report.wall_seconds),
+                    "-", "-",
+                    float(result.imbalance),
+                ))
+            if report is not None and report.degraded:
+                ladders.append((schedule, nthreads, report))
     print(f"{csr.nrows}x{csr.ncols} nnz={csr.nnz} on "
           f"{machine.codename}; measured on this host, best of "
           f"{args.repeats}")
@@ -388,6 +411,20 @@ def _cmd_parallel(args) -> int:
     ))
     print("imb (cpu) = max/mean per-thread CPU time (measured); "
           "imb (model) = cost-plane prediction at the same threads")
+    if ladders:
+        budget = ("none" if deadline_seconds is None
+                  else f"{1e3 * deadline_seconds:.1f} ms")
+        print(f"degradation ladder (deadline budget {budget}, "
+              f"max retries {args.max_retries}):")
+        for schedule, nthreads, report in ladders:
+            final = ("serial" if report.final_mode != "parallel"
+                     else f"t{report.final_nthreads}")
+            print(f"  {schedule} t{nthreads}: {report.ladder()} "
+                  f"[final {final}, "
+                  f"{1e3 * report.wall_seconds:.2f} ms]")
+    elif deadline_seconds is not None or args.max_retries != 2:
+        print("degradation ladder: no demotions (every run completed "
+              "at the requested width)")
     return 0
 
 

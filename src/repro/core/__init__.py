@@ -22,6 +22,8 @@ from .optimizer import (
     OptimizedSpMV,
     PlanCache,
     matrix_fingerprint,
+    plan_cache_load_recoveries,
+    reset_plan_cache_load_recoveries,
 )
 from .oracle import OracleChoice, oracle_configurations, oracle_search
 from .partitioned_ml import (
@@ -67,6 +69,8 @@ __all__ = [
     "PLAN_SCHEMA_VERSION",
     "CACHE_SCHEMA_VERSION",
     "matrix_fingerprint",
+    "plan_cache_load_recoveries",
+    "reset_plan_cache_load_recoveries",
     "OracleChoice",
     "oracle_search",
     "oracle_configurations",

@@ -26,12 +26,15 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from ..errors import PlanCacheWarning
 from ..formats import CSRMatrix
 from ..kernels import (
     ConfiguredSpMV,
@@ -61,13 +64,59 @@ __all__ = [
     "AdaptiveSpMV",
     "PlanCache",
     "matrix_fingerprint",
+    "plan_cache_load_recoveries",
+    "reset_plan_cache_load_recoveries",
 ]
 
 #: Version of the serialized :class:`OptimizationPlan` IR.
 PLAN_SCHEMA_VERSION = 1
 
-#: Version of the :meth:`PlanCache.save` file layout.
-CACHE_SCHEMA_VERSION = 1
+#: Version of the :meth:`PlanCache.save` file layout. v2 wraps the v1
+#: payload in a ``{"checksum", "body"}`` envelope and is written
+#: atomically (temp file + rename); see docs/robustness.md.
+CACHE_SCHEMA_VERSION = 2
+
+
+_recovery_lock = threading.Lock()
+_load_recoveries = 0
+
+
+def plan_cache_load_recoveries() -> int:
+    """How many :meth:`PlanCache.load` calls degraded to an empty cache
+    (truncated/corrupted/checksum-mismatched/old-schema file) since the
+    process started or the counter was last reset."""
+    with _recovery_lock:
+        return _load_recoveries
+
+
+def reset_plan_cache_load_recoveries() -> None:
+    """Zero the load-recovery counter (tests, operator reset)."""
+    global _load_recoveries
+    with _recovery_lock:
+        _load_recoveries = 0
+
+
+def _count_load_recovery() -> None:
+    global _load_recoveries
+    with _recovery_lock:
+        _load_recoveries += 1
+
+
+def _canonical_body(body: dict) -> bytes:
+    """Canonical byte serialization the cache checksum covers.
+
+    ``sort_keys`` + minimal separators make the digest independent of
+    the pretty-printing of the envelope; Python's float repr round-trips
+    through JSON exactly, so a parsed body re-canonicalizes to the same
+    bytes the writer hashed.
+    """
+    return json.dumps(body, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def _body_checksum(body: dict) -> str:
+    return hashlib.blake2b(_canonical_body(body),
+                           digest_size=16).hexdigest()
 
 
 def matrix_fingerprint(csr: CSRMatrix) -> str:
@@ -174,6 +223,9 @@ class PlanCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        #: why :meth:`load` degraded to this empty cache (None when the
+        #: cache was built normally or loaded cleanly).
+        self.load_recovery_reason: str | None = None
 
     def get(self, key: tuple) -> _CacheEntry | None:
         with self._lock:
@@ -220,7 +272,17 @@ class PlanCache:
     # -- persistence ---------------------------------------------------
 
     def save(self, path) -> int:
-        """Serialize every entry's key + plan IR as JSON at ``path``.
+        """Serialize every entry's key + plan IR as JSON at ``path``,
+        crash-safely.
+
+        The write is atomic: the payload lands in a same-directory temp
+        file that is fsynced and then renamed over ``path``
+        (``os.replace``), so a crash mid-save leaves either the old
+        complete file or the new complete file — never a truncated
+        hybrid, and never a stray partial (the temp file is removed on
+        any write failure). The envelope carries a blake2b checksum of
+        the canonicalized body so :meth:`load` can detect silent
+        on-disk corruption.
 
         Converted execution-format data and kernel objects are not
         serialized (they are cheap to rebuild and process-local);
@@ -232,41 +294,107 @@ class PlanCache:
                 {"key": list(key), "plan": entry.plan.to_dict()}
                 for key, entry in self._entries.items()
             ]
-        payload = {
+        body = {
             "schema_version": CACHE_SCHEMA_VERSION,
             "maxsize": self.maxsize,
             "entries": entries,
         }
-        with open(path, "w") as fh:
-            json.dump(payload, fh, indent=2)
-            fh.write("\n")
+        payload = {"checksum": _body_checksum(body), "body": body}
+        path = os.fspath(path)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w") as fh:
+                json.dump(payload, fh, indent=2)
+                fh.write("\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
         return len(entries)
 
     @classmethod
-    def load(cls, path, maxsize: int | None = None) -> "PlanCache":
+    def load(cls, path, maxsize: int | None = None, *,
+             strict: bool = False) -> "PlanCache":
         """Revive a cache written by :meth:`save`.
 
         Kernels are rebuilt from each plan's optimization names
         (deterministic, so numerics are bit-identical to the original
         planning); entries whose kernel has been quarantined *since*
         the save are dropped on lookup exactly like live entries.
+
+        An unusable file — truncated, corrupted at any byte offset,
+        checksum-mismatched, pre-v2 layout, or an unknown schema
+        version — does **not** raise by default: load degrades to an
+        *empty* cache (plans are an optimization, not state a serving
+        process can refuse to start without), emits a
+        :class:`~repro.errors.PlanCacheWarning`, bumps the module-level
+        :func:`plan_cache_load_recoveries` counter and records the
+        reason on the returned cache as ``load_recovery_reason``.
+        ``strict=True`` restores raising (``ValueError``) for tools
+        that would rather fail than silently replan. A *missing* file
+        still raises ``FileNotFoundError`` either way — that is a
+        caller error, not corruption.
         """
+
+        def recovered(reason: str) -> "PlanCache":
+            if strict:
+                raise ValueError(f"plan cache {path!r} unusable: {reason}")
+            _count_load_recovery()
+            warnings.warn(
+                f"plan cache {path!r} unusable ({reason}); "
+                f"serving from an empty cache",
+                PlanCacheWarning,
+                stacklevel=2,
+            )
+            cache = cls(maxsize=maxsize or 32)
+            cache.load_recovery_reason = reason
+            return cache
+
         with open(path) as fh:
-            payload = json.load(fh)
-        version = payload.get("schema_version")
+            text = fh.read()
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            return recovered(f"not parseable as JSON ({exc})")
+        if not isinstance(payload, dict):
+            return recovered("payload is not a JSON object")
+        if "checksum" not in payload or "body" not in payload:
+            if "schema_version" in payload:
+                return recovered(
+                    f"unsupported plan-cache schema "
+                    f"{payload.get('schema_version')!r} without checksum "
+                    f"envelope (this build reads {CACHE_SCHEMA_VERSION})"
+                )
+            return recovered("missing checksum/body envelope")
+        body = payload["body"]
+        if not isinstance(body, dict):
+            return recovered("body is not a JSON object")
+        if _body_checksum(body) != payload["checksum"]:
+            return recovered("checksum mismatch (file corrupted on disk)")
+        version = body.get("schema_version")
         if version != CACHE_SCHEMA_VERSION:
-            raise ValueError(
+            return recovered(
                 f"unsupported plan-cache schema {version!r} "
                 f"(this build reads {CACHE_SCHEMA_VERSION})"
             )
-        cache = cls(maxsize=maxsize or int(payload.get("maxsize", 32)))
-        for item in payload.get("entries", []):
-            plan = OptimizationPlan.from_dict(item["plan"])
-            # A revived plan must not claim its previous hit status.
-            plan = replace(plan, cache_hit=False)
-            key = tuple(item["key"])
-            cache._entries[key] = _CacheEntry(
-                plan, _kernel_from_plan(plan), None, None
+        cache = cls(maxsize=maxsize or int(body.get("maxsize", 32)))
+        try:
+            for item in body.get("entries", []):
+                plan = OptimizationPlan.from_dict(item["plan"])
+                # A revived plan must not claim its previous hit status.
+                plan = replace(plan, cache_hit=False)
+                key = tuple(item["key"])
+                cache._entries[key] = _CacheEntry(
+                    plan, _kernel_from_plan(plan), None, None
+                )
+        except Exception as exc:  # checksum passed but IR is invalid
+            return recovered(
+                f"invalid entry ({type(exc).__name__}: {exc})"
             )
         return cache
 

@@ -24,6 +24,9 @@ __all__ = [
     "FormatValidationError",
     "KernelExecutionError",
     "SolverBreakdownError",
+    "ParallelExecutionError",
+    "ChunkFailure",
+    "PlanCacheWarning",
     "ValidationIssue",
     "ValidationReport",
 ]
@@ -50,6 +53,82 @@ class SolverBreakdownError(ReproError, RuntimeError):
     ``SolveResult`` with ``report.breakdown`` set; this type exists for
     callers who want to escalate such a result into an exception.
     """
+
+
+@dataclass(frozen=True)
+class ChunkFailure:
+    """Attribution record of one failed, hung or poisoned parallel
+    chunk: which contiguous row range, on which worker slot, and how it
+    failed. Carried by :class:`ParallelExecutionError` and by the
+    supervision reports of :mod:`repro.parallel.supervisor`."""
+
+    #: index of the chunk in its :class:`~repro.parallel.plane.
+    #: ParallelData` (``-1`` when a worker timed out between chunks).
+    chunk_index: int
+    #: contiguous row range ``[row_lo, row_hi)`` of the chunk (``-1``
+    #: bounds when no chunk was attributable).
+    row_lo: int
+    row_hi: int
+    #: pool worker slot (thread index) the failure was observed on.
+    thread_slot: int
+    #: ``"exception"`` | ``"timeout"`` | ``"poisoned"``.
+    kind: str
+    #: human-readable detail (exception repr, non-finite row count, ...).
+    detail: str = ""
+
+    def __str__(self) -> str:
+        where = (
+            f"chunk {self.chunk_index} rows [{self.row_lo}, {self.row_hi})"
+            if self.chunk_index >= 0 else "no chunk"
+        )
+        tail = f" ({self.detail})" if self.detail else ""
+        return f"{where} on slot {self.thread_slot}: {self.kind}{tail}"
+
+
+class ParallelExecutionError(ReproError, RuntimeError):
+    """A parallel apply failed and its output must not be trusted.
+
+    Raised by the shared-memory execution plane when a pool worker
+    faulted (``kind == "worker-fault"``) or the apply's deadline budget
+    was breached with chunks still running (``kind == "deadline"``).
+    The caller-provided ``out=`` buffer is never left partially
+    written: it is NaN-invalidated before this error escapes (a
+    breached deadline additionally computes into private scratch so an
+    abandoned worker can never race a caller-owned buffer).
+
+    ``failures`` carries one :class:`ChunkFailure` per affected chunk
+    with partition/chunk attribution; the supervision layer
+    (:class:`~repro.parallel.supervisor.SupervisedSpMV`) catches this
+    type to drive its retry/degradation ladder.
+    """
+
+    def __init__(self, kind: str, failures=(), *, nthreads: int = 0,
+                 schedule: str = "", wall_seconds: float = 0.0,
+                 deadline_seconds: float | None = None):
+        self.kind = kind
+        self.failures = tuple(failures)
+        self.nthreads = int(nthreads)
+        self.schedule = schedule
+        self.wall_seconds = float(wall_seconds)
+        self.deadline_seconds = deadline_seconds
+        detail = "; ".join(str(f) for f in self.failures)
+        budget = (
+            f" (deadline {1e3 * deadline_seconds:.1f} ms)"
+            if deadline_seconds is not None else ""
+        )
+        super().__init__(
+            f"parallel apply failed [{kind}] at nthreads={self.nthreads} "
+            f"schedule={self.schedule!r} after "
+            f"{1e3 * self.wall_seconds:.2f} ms{budget}: "
+            f"{detail or 'no chunk attribution'}"
+        )
+
+
+class PlanCacheWarning(UserWarning):
+    """A persisted plan cache could not be used (truncated, corrupted,
+    checksum mismatch, or old schema) and service degraded to an empty
+    cache instead of raising mid-serve. Emitted by
+    :meth:`repro.core.optimizer.PlanCache.load`."""
 
 
 @dataclass(frozen=True)

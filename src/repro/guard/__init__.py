@@ -20,8 +20,10 @@ See ``docs/robustness.md`` for the full semantics.
 """
 
 from ..errors import (
+    ChunkFailure,
     FormatValidationError,
     KernelExecutionError,
+    ParallelExecutionError,
     ReproError,
     SolverBreakdownError,
     ValidationIssue,
@@ -38,9 +40,11 @@ from ..kernels.registry import (
 )
 from .faults import (
     MM_FAULTS,
+    PARALLEL_FAULTS,
     STRUCTURAL_FAULTS,
     VALUE_FAULTS,
     BrokenKernel,
+    ParallelFaultKernel,
     applicable_faults,
     clone_format,
     corrupt_matrix_market,
@@ -55,6 +59,8 @@ __all__ = [
     "FormatValidationError",
     "KernelExecutionError",
     "SolverBreakdownError",
+    "ParallelExecutionError",
+    "ChunkFailure",
     "ValidationIssue",
     "ValidationReport",
     "validate_format",
@@ -79,6 +85,8 @@ __all__ = [
     "inject_value_fault",
     "corrupt_matrix_market",
     "BrokenKernel",
+    "PARALLEL_FAULTS",
+    "ParallelFaultKernel",
 ]
 
 

@@ -21,9 +21,20 @@ Three families of faults:
 :class:`BrokenKernel` rounds the module out: a kernel wrapper that
 misbehaves on demand (raises, poisons its output, or returns the wrong
 shape), used to exercise the guarded-execution quarantine.
+:class:`ParallelFaultKernel` is its parallel-plane sibling: wrapped
+*inside* a :class:`~repro.parallel.plane.ParallelKernel`, it makes the
+first K chunk applies crash, hang (a bounded sleep), or poison their
+partition — deterministically, whichever pool worker picks the chunk
+up — so the supervision/degradation ladder of
+:class:`~repro.parallel.supervisor.SupervisedSpMV` is testable end to
+end (see docs/robustness.md).
 """
 
 from __future__ import annotations
+
+import math
+import threading
+import time
 
 import numpy as np
 
@@ -48,6 +59,8 @@ __all__ = [
     "inject_value_fault",
     "corrupt_matrix_market",
     "BrokenKernel",
+    "PARALLEL_FAULTS",
+    "ParallelFaultKernel",
 ]
 
 #: All structural corruption kinds understood by
@@ -346,6 +359,106 @@ class BrokenKernel(Kernel):
 
     def apply_multi(self, data, X):
         return self._sabotage(self.inner.apply_multi(data, X))
+
+    def cost(self, data, machine, partition):
+        return self.inner.cost(data, machine, partition)
+
+    def partition(self, data, nthreads):
+        return self.inner.partition(data, nthreads)
+
+
+#: Worker-fault kinds injected by :class:`ParallelFaultKernel`.
+PARALLEL_FAULTS = ("crash", "hang", "poison")
+
+
+class ParallelFaultKernel(Kernel):
+    """Deterministic worker-fault injector for the parallel plane.
+
+    Wrap this *inside* a :class:`~repro.parallel.plane.ParallelKernel`
+    (or hand it to :class:`~repro.parallel.supervisor.SupervisedSpMV`)
+    and the first ``fail_applies`` chunk applies — counted globally
+    across threads under a lock, so the injection is deterministic no
+    matter which pool worker picks a chunk up — misbehave:
+
+    * ``mode="crash"``  raises ``RuntimeError`` (worker crash);
+    * ``mode="hang"``   sleeps ``hang_seconds`` before computing (a
+      bounded hang the deadline watchdog must catch; the sleep happens
+      *outside* the counter lock so healthy workers are not serialized
+      behind the hung one);
+    * ``mode="poison"`` computes normally, then overwrites the first
+      output element with NaN (a poisoned partition: no exception, the
+      supervisor's output validation has to find it).
+
+    ``fail_applies=math.inf`` misbehaves forever — every parallel rung
+    of the degradation ladder fails and only the serial fallback (which
+    bypasses this kernel entirely) survives. ``faults_injected`` and
+    ``applies`` expose the counters; :meth:`reset` re-arms the
+    injector.
+    """
+
+    def __init__(self, inner: Kernel, mode: str = "crash",
+                 fail_applies: float = 1, hang_seconds: float = 0.25,
+                 name: str | None = None):
+        if mode not in PARALLEL_FAULTS:
+            raise ValueError(
+                f"mode must be one of {PARALLEL_FAULTS}, got {mode!r}"
+            )
+        if not (fail_applies >= 0):
+            raise ValueError(
+                f"fail_applies must be >= 0, got {fail_applies}"
+            )
+        self.inner = inner
+        self.mode = mode
+        self.fail_applies = (
+            math.inf if math.isinf(fail_applies) else int(fail_applies)
+        )
+        self.hang_seconds = float(hang_seconds)
+        self.name = name if name is not None else f"parfault[{inner.name}]"
+        self.optimizations = inner.optimizations
+        self.schedule = inner.schedule
+        self.row_align = int(getattr(inner, "row_align", 1) or 1)
+        self._lock = threading.Lock()
+        self.applies = 0
+        self.faults_injected = 0
+
+    def reset(self) -> None:
+        """Re-arm the injector (e.g. between ladder experiments)."""
+        with self._lock:
+            self.applies = 0
+            self.faults_injected = 0
+
+    def _decide(self) -> bool:
+        """Atomically count this apply; True when it must misbehave."""
+        with self._lock:
+            self.applies += 1
+            misbehave = self.applies <= self.fail_applies
+            if misbehave:
+                self.faults_injected += 1
+            return misbehave
+
+    def preprocess(self, csr):
+        return self.inner.preprocess(csr)
+
+    def preprocessing_seconds(self, csr, machine):
+        return self.inner.preprocessing_seconds(csr, machine)
+
+    def _faulty(self, apply_fn, data, x, out, workspace) -> np.ndarray:
+        misbehave = self._decide()
+        if misbehave and self.mode == "crash":
+            raise RuntimeError("injected worker crash")
+        if misbehave and self.mode == "hang":
+            time.sleep(self.hang_seconds)  # outside the lock
+        y = apply_fn(data, x, out=out, workspace=workspace)
+        if misbehave and self.mode == "poison":
+            y.reshape(-1)[0] = np.nan
+        return y
+
+    def apply(self, data, x, out=None, workspace=None):
+        return self._faulty(self.inner.apply, data, x, out, workspace)
+
+    def apply_multi(self, data, X, out=None, workspace=None):
+        return self._faulty(self.inner.apply_multi, data, X, out,
+                            workspace)
 
     def cost(self, data, machine, partition):
         return self.inner.cost(data, machine, partition)

@@ -6,6 +6,11 @@ release the GIL), making the paper's IMB thread-imbalance analysis
 *measurable* instead of only simulated: the analytical engine predicts
 per-thread times, :class:`ParallelKernel` measures them. See
 docs/parallelism.md.
+
+:mod:`repro.parallel.supervisor` adds the serving-grade fault
+tolerance on top: worker supervision with chunk attribution, deadline
+watchdogs, and the retry/degrade/serial-fallback ladder of
+:class:`SupervisedSpMV`. See docs/robustness.md.
 """
 
 from .plane import (
@@ -15,7 +20,23 @@ from .plane import (
     ParallelMeasurement,
     ParallelSpMV,
 )
-from .pool import active_worker_counts, get_executor, shutdown_executors
+from .pool import (
+    active_worker_counts,
+    get_executor,
+    pool_health,
+    recycle_executor,
+    shutdown_executors,
+)
+from .supervisor import (
+    AttemptRecord,
+    SupervisedSpMV,
+    SupervisionReport,
+    clear_demotions,
+    demoted_target,
+    demotion_count,
+    demotion_log,
+    record_demotion,
+)
 
 __all__ = [
     "ParallelConfig",
@@ -23,7 +44,17 @@ __all__ = [
     "ParallelKernel",
     "ParallelMeasurement",
     "ParallelSpMV",
+    "SupervisedSpMV",
+    "SupervisionReport",
+    "AttemptRecord",
     "get_executor",
     "shutdown_executors",
     "active_worker_counts",
+    "recycle_executor",
+    "pool_health",
+    "record_demotion",
+    "demoted_target",
+    "demotion_count",
+    "demotion_log",
+    "clear_demotions",
 ]

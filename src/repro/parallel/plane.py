@@ -30,12 +30,15 @@ Two measured clocks are recorded per worker:
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import ChunkFailure, ParallelExecutionError
 from ..formats import CSRMatrix
 from ..formats.base import check_out_buffer, contiguous_operand
 from ..kernels.base import Kernel
@@ -116,6 +119,23 @@ class ParallelMeasurement:
         and GIL waits; noisy on oversubscribed hosts)."""
         return self._imbalance(self.thread_wall_seconds)
 
+    def stragglers(self, factor: float = 4.0) -> tuple[int, ...]:
+        """Worker slots whose wall span exceeded ``factor`` times the
+        median positive wall span — threads that *finished* but dragged
+        the makespan (a chunk that never finishes surfaces as a
+        ``timeout`` :class:`~repro.errors.ChunkFailure` via the
+        deadline watchdog instead)."""
+        walls = np.asarray(self.thread_wall_seconds, dtype=np.float64)
+        positive = walls[walls > 0.0]
+        if positive.size == 0:
+            return ()
+        median = float(np.median(positive))
+        if median <= 0.0:
+            return ()
+        return tuple(
+            int(i) for i in np.flatnonzero(walls > factor * median)
+        )
+
     def summary(self) -> dict:
         """JSON-ready snapshot (tracer spans, bench rows)."""
         return {
@@ -130,6 +150,7 @@ class ParallelMeasurement:
             "chunks_per_thread": [int(c) for c in self.chunks_per_thread],
             "imbalance": float(self.imbalance),
             "wall_imbalance": float(self.wall_imbalance),
+            "stragglers": [int(s) for s in self.stragglers()],
         }
 
 
@@ -306,7 +327,8 @@ class ParallelKernel(Kernel):
     # -- numeric plane -------------------------------------------------
 
     def apply(self, data: ParallelData, x: np.ndarray,
-              out: np.ndarray | None = None, workspace=None) -> np.ndarray:
+              out: np.ndarray | None = None, workspace=None,
+              deadline_seconds: float | None = None) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (data.ncols,):
             raise ValueError(
@@ -317,12 +339,14 @@ class ParallelKernel(Kernel):
         else:
             y = check_out_buffer(out, (data.nrows,), operand=x)
         x = contiguous_operand(x, workspace, "parallel.x")
-        self._execute(data, x, y, multi=False)
-        return y
+        return self._supervised(data, x, y, multi=False,
+                                caller_out=out is not None,
+                                deadline_seconds=deadline_seconds)
 
     def apply_multi(self, data: ParallelData, X: np.ndarray,
                     out: np.ndarray | None = None,
-                    workspace=None) -> np.ndarray:
+                    workspace=None,
+                    deadline_seconds: float | None = None) -> np.ndarray:
         X = np.ascontiguousarray(X, dtype=np.float64)
         if X.ndim != 2 or X.shape[0] != data.ncols:
             raise ValueError(
@@ -333,8 +357,36 @@ class ParallelKernel(Kernel):
             Y = np.empty((data.nrows, k), dtype=np.float64)
         else:
             Y = check_out_buffer(out, (data.nrows, k), operand=X)
-        self._execute(data, X, Y, multi=True)
-        return Y
+        return self._supervised(data, X, Y, multi=True,
+                                caller_out=out is not None,
+                                deadline_seconds=deadline_seconds)
+
+    def _supervised(self, data: ParallelData, x: np.ndarray,
+                    y: np.ndarray, *, multi: bool, caller_out: bool,
+                    deadline_seconds: float | None) -> np.ndarray:
+        """Run ``_execute`` with the out-buffer safety contract.
+
+        A caller-owned ``out`` is never returned partially written: on
+        any :class:`~repro.errors.ParallelExecutionError` it is
+        NaN-invalidated before the error escapes. When a deadline is
+        armed the chunks additionally compute into private scratch —
+        a breached deadline abandons still-running workers, and those
+        must never race a buffer the caller can still observe — with
+        one ``copyto`` into ``out`` only on success.
+        """
+        target = y
+        if deadline_seconds is not None and caller_out:
+            target = np.empty_like(y)
+        try:
+            self._execute(data, x, target, multi=multi,
+                          deadline_seconds=deadline_seconds)
+        except ParallelExecutionError:
+            if caller_out:
+                y.fill(np.nan)
+            raise
+        if target is not y:
+            np.copyto(y, target)
+        return y
 
     def _run_chunk(self, chunk: _Chunk, x: np.ndarray, y: np.ndarray,
                    *, multi: bool, workspace: Workspace) -> None:
@@ -348,48 +400,124 @@ class ParallelKernel(Kernel):
             self.inner.apply(chunk.data, x, out=out, workspace=workspace)
 
     def _execute(self, data: ParallelData, x: np.ndarray,
-                 y: np.ndarray, *, multi: bool) -> ParallelMeasurement:
+                 y: np.ndarray, *, multi: bool,
+                 deadline_seconds: float | None = None
+                 ) -> ParallelMeasurement:
         nthreads = data.nthreads
         started = time.perf_counter()
         walls = [0.0] * nthreads
         cpus = [0.0] * nthreads
         counts = [0] * nthreads
+        # Supervision state: per-chunk failures with attribution, a
+        # cooperative cancel flag (set on first failure or deadline
+        # breach; workers check it between chunks), and the chunk each
+        # slot is currently executing (for timeout attribution).
+        failures: list[ChunkFailure] = []
+        cancel = threading.Event()
+        current = [-1] * nthreads
+
+        def run_chunks(slot: int, indices) -> None:
+            w0 = time.perf_counter()
+            c0 = time.thread_time()
+            try:
+                for ci in indices:
+                    if cancel.is_set():
+                        break
+                    chunk = data.chunks[ci]
+                    current[slot] = ci
+                    try:
+                        self._run_chunk(chunk, x, y, multi=multi,
+                                        workspace=data.workspace)
+                    except Exception as exc:
+                        failures.append(ChunkFailure(
+                            chunk_index=ci, row_lo=chunk.lo,
+                            row_hi=chunk.hi, thread_slot=slot,
+                            kind="exception",
+                            detail=f"{type(exc).__name__}: {exc}",
+                        ))
+                        cancel.set()
+                        break
+                    counts[slot] += 1
+            finally:
+                current[slot] = -1
+                cpus[slot] = time.thread_time() - c0
+                walls[slot] = time.perf_counter() - w0
 
         if data.partition.is_dynamic:
             queue = deque(range(len(data.chunks)))
 
-            def worker(slot: int) -> None:
-                w0 = time.perf_counter()
-                c0 = time.thread_time()
+            def drain():
                 while True:
                     try:
-                        ci = queue.popleft()  # thread-safe pop
+                        yield queue.popleft()  # thread-safe pop
                     except IndexError:
-                        break
-                    self._run_chunk(data.chunks[ci], x, y, multi=multi,
-                                    workspace=data.workspace)
-                    counts[slot] += 1
-                cpus[slot] = time.thread_time() - c0
-                walls[slot] = time.perf_counter() - w0
+                        return
+
+            def worker(slot: int) -> None:
+                run_chunks(slot, drain())
         else:
 
             def worker(slot: int) -> None:
-                w0 = time.perf_counter()
-                c0 = time.thread_time()
-                for ci in data.thread_chunks[slot]:
-                    self._run_chunk(data.chunks[ci], x, y, multi=multi,
-                                    workspace=data.workspace)
-                    counts[slot] += 1
-                cpus[slot] = time.thread_time() - c0
-                walls[slot] = time.perf_counter() - w0
+                run_chunks(slot, data.thread_chunks[slot])
 
-        if nthreads == 1:
+        # A deadline always goes through the pool (even at one thread)
+        # so the watchdog can abandon a hung chunk instead of blocking
+        # the caller inline forever.
+        if nthreads == 1 and deadline_seconds is None:
             worker(0)
         else:
             pool = get_executor(nthreads)
             futures = [pool.submit(worker, slot) for slot in range(nthreads)]
-            for future in futures:
-                future.result()  # re-raise worker exceptions
+            if deadline_seconds is None:
+                for future in futures:
+                    future.result()  # chunk faults are captured; this
+                    # only propagates errors in the worker loop itself
+            else:
+                remaining = deadline_seconds - (
+                    time.perf_counter() - started
+                )
+                done, not_done = futures_wait(
+                    futures, timeout=max(remaining, 0.0)
+                )
+                if not_done:
+                    cancel.set()
+                    for future in not_done:
+                        future.cancel()  # unstarted workers never run
+                    timeouts = []
+                    for slot, future in enumerate(futures):
+                        if future not in not_done:
+                            continue
+                        ci = current[slot]
+                        if ci >= 0:
+                            chunk = data.chunks[ci]
+                            timeouts.append(ChunkFailure(
+                                chunk_index=ci, row_lo=chunk.lo,
+                                row_hi=chunk.hi, thread_slot=slot,
+                                kind="timeout",
+                                detail="chunk still running at deadline",
+                            ))
+                        else:
+                            timeouts.append(ChunkFailure(
+                                chunk_index=-1, row_lo=-1, row_hi=-1,
+                                thread_slot=slot, kind="timeout",
+                                detail="worker unfinished at deadline",
+                            ))
+                    raise ParallelExecutionError(
+                        "deadline", tuple(failures) + tuple(timeouts),
+                        nthreads=nthreads, schedule=self.schedule,
+                        wall_seconds=time.perf_counter() - started,
+                        deadline_seconds=deadline_seconds,
+                    )
+                for future in futures:
+                    future.result()
+
+        if failures:
+            raise ParallelExecutionError(
+                "worker-fault", tuple(failures),
+                nthreads=nthreads, schedule=self.schedule,
+                wall_seconds=time.perf_counter() - started,
+                deadline_seconds=deadline_seconds,
+            )
 
         measurement = ParallelMeasurement(
             nthreads=nthreads,
@@ -470,14 +598,18 @@ class ParallelSpMV:
         return self.kernel.last_measurement
 
     def matvec(self, x: np.ndarray, out: np.ndarray | None = None,
-               workspace=None) -> np.ndarray:
+               workspace=None,
+               deadline_seconds: float | None = None) -> np.ndarray:
         return self.kernel.apply(self.data, x, out=out,
-                                 workspace=workspace)
+                                 workspace=workspace,
+                                 deadline_seconds=deadline_seconds)
 
     def matmat(self, X: np.ndarray, out: np.ndarray | None = None,
-               workspace=None) -> np.ndarray:
+               workspace=None,
+               deadline_seconds: float | None = None) -> np.ndarray:
         return self.kernel.apply_multi(self.data, X, out=out,
-                                       workspace=workspace)
+                                       workspace=workspace,
+                                       deadline_seconds=deadline_seconds)
 
     def __matmul__(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x)

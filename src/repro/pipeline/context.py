@@ -54,6 +54,10 @@ class PipelineContext:
     #: measured parallel run (:class:`~repro.parallel.plane.
     #: ParallelMeasurement`) when the execute stage ran on the real pool
     measured: object | None = None          # execute (nthreads= option)
+    #: supervision outcome (:class:`~repro.parallel.supervisor.
+    #: SupervisionReport`) of the measured parallel run — records the
+    #: degradation ladder the execute stage walked, if any
+    supervision: object | None = None       # execute (nthreads= option)
 
     def build_plan(self):
         """Freeze the run's decisions into an :class:`OptimizationPlan`."""

@@ -115,16 +115,23 @@ class PipelineRunner:
     def measure_parallel(self, kernel, csr: CSRMatrix, nthreads: int,
                          schedule: str | None = None,
                          chunk_rows: int | None = None,
-                         repeats: int = 3, data=None):
+                         repeats: int = 3, data=None,
+                         deadline_seconds: float | None = None,
+                         max_retries: int = 2):
         """Run ``kernel`` for real on the shared-memory pool and return
-        ``(result, measurement)``.
+        ``(result, measurement, supervision)``.
 
         ``result`` is the cost-plane :class:`~repro.machine.engine.
         RunResult` at ``nthreads`` (the prediction); ``measurement`` is
         the best-of-``repeats`` :class:`~repro.parallel.plane.
         ParallelMeasurement` with per-thread wall and CPU times from the
-        actual threaded run. One ``execute`` span carries both, so
-        traces show measured next to predicted imbalance.
+        actual threaded run (``None`` when every repeat degraded to the
+        serial fallback); ``supervision`` is the last repeat's
+        :class:`~repro.parallel.supervisor.SupervisionReport` — the
+        degradation-ladder outcome under the optional
+        ``deadline_seconds`` budget. One ``execute`` span carries all
+        three, so traces show measured next to predicted imbalance and
+        any demotions.
         """
         machine = self._require_machine()
         ctx = PipelineContext(
@@ -139,10 +146,12 @@ class PipelineRunner:
         ctx.kernel = kernel
         ctx.data = data
         stage = ExecuteStage(nthreads=nthreads, schedule=schedule,
-                             chunk_rows=chunk_rows, repeats=repeats)
+                             chunk_rows=chunk_rows, repeats=repeats,
+                             deadline_seconds=deadline_seconds,
+                             max_retries=max_retries)
         with self.tracer.span(stage.name, kernel=kernel.name) as span:
             stage.run(ctx, span)
-        return ctx.result, ctx.measured
+        return ctx.result, ctx.measured, ctx.supervision
 
     # -- wall-clock timing ---------------------------------------------
 

@@ -160,11 +160,14 @@ class ExecuteStage:
     """Simulate one kernel execution on the target machine.
 
     With ``nthreads`` set, additionally *runs* the kernel on the real
-    shared-memory parallel plane (:class:`~repro.parallel.plane.
-    ParallelKernel`) and records the measured per-thread wall and CPU
-    times next to the model's prediction — the span then carries both
-    ``measured_imbalance`` (observed) and ``predicted_imbalance``
-    (cost-plane) for the same thread count.
+    shared-memory parallel plane — under supervision
+    (:class:`~repro.parallel.supervisor.SupervisedSpMV`), so a worker
+    fault or a breached ``deadline_seconds`` degrades through the
+    retry/serial ladder instead of crashing the pipeline — and records
+    the measured per-thread wall and CPU times next to the model's
+    prediction: the span then carries ``measured_imbalance`` (observed)
+    and ``predicted_imbalance`` (cost-plane) for the same thread count,
+    plus the ``supervision`` ladder outcome when the run degraded.
     """
 
     name = "execute"
@@ -172,7 +175,9 @@ class ExecuteStage:
     def __init__(self, nthreads: int | None = None,
                  schedule: str | None = None,
                  chunk_rows: int | None = None,
-                 repeats: int = 1):
+                 repeats: int = 1,
+                 deadline_seconds: float | None = None,
+                 max_retries: int = 2):
         if nthreads is not None and int(nthreads) < 1:
             raise ValueError("nthreads must be >= 1")
         if repeats < 1:
@@ -181,6 +186,8 @@ class ExecuteStage:
         self.schedule = schedule
         self.chunk_rows = chunk_rows
         self.repeats = int(repeats)
+        self.deadline_seconds = deadline_seconds
+        self.max_retries = int(max_retries)
 
     def run(self, ctx: PipelineContext, span: Span) -> None:
         if ctx.data is None:
@@ -196,21 +203,27 @@ class ExecuteStage:
         predicted imbalance at the *measured* thread count."""
         import numpy as np
 
-        from ..parallel import ParallelKernel
+        from ..parallel import SupervisedSpMV
 
         schedule = self.schedule or getattr(
             ctx.kernel, "schedule", "balanced-nnz"
         )
-        pk = ParallelKernel(ctx.kernel, nthreads=self.nthreads,
-                            schedule=schedule,
-                            chunk_rows=self.chunk_rows)
-        pdata = pk.preprocess(ctx.csr)
+        sup = SupervisedSpMV(ctx.csr, ctx.kernel,
+                             nthreads=self.nthreads,
+                             schedule=schedule,
+                             chunk_rows=self.chunk_rows,
+                             deadline_seconds=self.deadline_seconds,
+                             max_retries=self.max_retries)
         x = np.ones(ctx.csr.ncols)
         best = None
+        report = None
         for _ in range(self.repeats):
-            pk.apply(pdata, x)
-            m = pk.last_measurement
-            if best is None or m.wall_seconds < best.wall_seconds:
+            sup.matvec(x)
+            report = sup.last_report
+            m = sup.last_measurement
+            if m is not None and (
+                best is None or m.wall_seconds < best.wall_seconds
+            ):
                 best = m
         # Predicted imbalance at the same thread count as the run
         # (ctx.nthreads may differ, e.g. the machine default).
@@ -220,14 +233,19 @@ class ExecuteStage:
                 ctx.kernel, ctx.data
             )
         ctx.measured = best
+        ctx.supervision = report
         span.set(
-            measured=best.summary(),
-            measured_imbalance=best.imbalance,
-            measured_wall_imbalance=best.wall_imbalance,
             predicted_imbalance=predicted.imbalance,
-            parallel_nthreads=best.nthreads,
-            parallel_schedule=best.schedule,
+            supervision=report.summary(),
         )
+        if best is not None:
+            span.set(
+                measured=best.summary(),
+                measured_imbalance=best.imbalance,
+                measured_wall_imbalance=best.wall_imbalance,
+                parallel_nthreads=best.nthreads,
+                parallel_schedule=best.schedule,
+            )
 
 
 def default_planning_stages() -> tuple[Stage, ...]:

@@ -1,0 +1,242 @@
+"""Injected parallel worker faults drive the full supervision ladder.
+
+Every scenario asserts the acceptance contract of the supervised plane:
+an injected crash, hang, or poisoned partition during a parallel apply
+never returns a partially-written result — the call either succeeds
+bit-identically to the serial kernel (after retry/degradation, with the
+demotion recorded) or raises a typed ``ParallelExecutionError``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ChunkFailure, ParallelExecutionError
+from repro.guard import ParallelFaultKernel
+from repro.kernels import baseline_kernel
+from repro.parallel import (
+    ParallelSpMV,
+    SupervisedSpMV,
+    clear_demotions,
+    demoted_target,
+    demotion_count,
+    demotion_log,
+    record_demotion,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_demotions():
+    """Demotion state is process-global; never leak it across tests."""
+    clear_demotions()
+    yield
+    clear_demotions()
+
+
+@pytest.fixture
+def x(small_random_csr):
+    return np.random.default_rng(42).standard_normal(
+        small_random_csr.ncols
+    )
+
+
+# -- unsupervised plane: typed errors, no partial results ---------------
+
+
+def test_worker_crash_raises_typed_error_with_chunk_attribution(
+        small_random_csr, x):
+    fk = ParallelFaultKernel(baseline_kernel(), mode="crash",
+                             fail_applies=1)
+    op = ParallelSpMV(small_random_csr, fk, nthreads=4)
+    with pytest.raises(ParallelExecutionError) as exc_info:
+        op.matvec(x)
+    err = exc_info.value
+    assert err.kind == "worker-fault"
+    assert err.nthreads == 4
+    assert err.failures
+    failure = err.failures[0]
+    assert isinstance(failure, ChunkFailure)
+    assert failure.kind == "exception"
+    assert 0 <= failure.chunk_index
+    assert 0 <= failure.row_lo < failure.row_hi <= small_random_csr.nrows
+    assert "injected worker crash" in failure.detail
+
+
+def test_crash_never_returns_partially_written_out(small_random_csr, x):
+    fk = ParallelFaultKernel(baseline_kernel(), mode="crash",
+                             fail_applies=1)
+    op = ParallelSpMV(small_random_csr, fk, nthreads=4)
+    out = np.full(small_random_csr.nrows, 7.0)
+    with pytest.raises(ParallelExecutionError):
+        op.matvec(x, out=out)
+    # The buffer is invalidated wholesale, not left half-computed.
+    assert np.isnan(out).all()
+
+
+def test_plane_deadline_watchdog_times_out_hung_chunk(small_random_csr,
+                                                      x):
+    fk = ParallelFaultKernel(baseline_kernel(), mode="hang",
+                             fail_applies=1, hang_seconds=0.5)
+    op = ParallelSpMV(small_random_csr, fk, nthreads=2)
+    out = np.full(small_random_csr.nrows, 7.0)
+    t0 = time.perf_counter()
+    with pytest.raises(ParallelExecutionError) as exc_info:
+        op.matvec(x, out=out, deadline_seconds=0.05)
+    elapsed = time.perf_counter() - t0
+    err = exc_info.value
+    assert err.kind == "deadline"
+    assert any(f.kind == "timeout" for f in err.failures)
+    assert np.isnan(out).all()
+    # The caller was released by the watchdog, not by the hung worker.
+    assert elapsed < 0.5
+
+
+# -- supervised ladder: bit-identical recovery on every rung ------------
+
+
+def test_crash_retry_recovers_bit_identical(small_random_csr, x):
+    ref = small_random_csr.matvec(x)
+    fk = ParallelFaultKernel(baseline_kernel(), mode="crash",
+                             fail_applies=1)
+    sup = SupervisedSpMV(small_random_csr, fk, nthreads=4,
+                         backoff_seconds=0.0)
+    y = sup.matvec(x)
+    np.testing.assert_array_equal(y, ref)
+    report = sup.last_report
+    assert report.degraded
+    assert report.final_mode == "parallel"
+    assert report.attempts[0].outcome == "worker-fault"
+    assert report.attempts[-1].outcome == "ok"
+    assert demotion_count() == 1
+
+
+@pytest.mark.parametrize("fail_applies", [1, 2, 4])
+def test_every_ladder_rung_stays_bit_identical(small_random_csr, x,
+                                               fail_applies):
+    """Whichever rung the ladder settles on — first retry, lowest
+    width, or serial — the result matches the serial kernel exactly."""
+    ref = small_random_csr.matvec(x)
+    fk = ParallelFaultKernel(baseline_kernel(), mode="crash",
+                             fail_applies=fail_applies)
+    sup = SupervisedSpMV(small_random_csr, fk, nthreads=4,
+                         max_retries=2, backoff_seconds=0.0)
+    y = sup.matvec(x)
+    np.testing.assert_array_equal(y, ref)
+    assert sup.last_report.degraded
+
+
+def test_persistent_crash_walks_full_ladder_to_serial(small_random_csr,
+                                                      x):
+    ref = small_random_csr.matvec(x)
+    fk = ParallelFaultKernel(baseline_kernel(), mode="crash",
+                             fail_applies=math.inf)
+    sup = SupervisedSpMV(small_random_csr, fk, nthreads=4,
+                         max_retries=2, backoff_seconds=0.0)
+    y = sup.matvec(x)
+    np.testing.assert_array_equal(y, ref)
+    report = sup.last_report
+    assert report.final_mode == "serial"
+    # Requested width, two reduced retries, then the serial fallback.
+    assert [a.mode for a in report.attempts] == (
+        ["parallel", "parallel", "parallel", "serial"]
+    )
+    assert demoted_target(sup.signature) == 0
+    (entry,) = demotion_log().values()
+    assert entry["reason"] == "worker-fault"
+
+
+def test_demoted_config_skips_straight_to_recorded_width(
+        small_random_csr, x):
+    ref = small_random_csr.matvec(x)
+    sup = SupervisedSpMV(small_random_csr, nthreads=4,
+                         backoff_seconds=0.0)
+    record_demotion(sup.signature, 2, "worker-fault")
+    y = sup.matvec(x)
+    np.testing.assert_array_equal(y, ref)
+    # No re-walk of the failed width: the first attempt is already at
+    # the demoted target.
+    assert sup.last_report.attempts[0].nthreads == 2
+    assert sup.last_report.attempts[0].outcome == "ok"
+
+
+def test_poisoned_partition_detected_and_recovered(small_random_csr, x):
+    ref = small_random_csr.matvec(x)
+    fk = ParallelFaultKernel(baseline_kernel(), mode="poison",
+                             fail_applies=1)
+    sup = SupervisedSpMV(small_random_csr, fk, nthreads=4,
+                         backoff_seconds=0.0)
+    out = np.empty(small_random_csr.nrows)
+    y = sup.matvec(x, out=out)
+    assert y is out
+    np.testing.assert_array_equal(y, ref)
+    first = sup.last_report.attempts[0]
+    assert first.outcome == "poisoned"
+    assert "non-finite" in first.detail
+
+
+def test_hang_watchdog_recovers_within_deadline_budget(small_random_csr,
+                                                       x):
+    """The watchdog smoke: a 0.5 s hang under a 0.1 s budget must
+    neither block for the full hang nor corrupt the result."""
+    ref = small_random_csr.matvec(x)
+    fk = ParallelFaultKernel(baseline_kernel(), mode="hang",
+                             fail_applies=1, hang_seconds=0.5)
+    sup = SupervisedSpMV(small_random_csr, fk, nthreads=4,
+                         deadline_seconds=0.1, backoff_seconds=0.0)
+    t0 = time.perf_counter()
+    y = sup.matvec(x)
+    elapsed = time.perf_counter() - t0
+    np.testing.assert_array_equal(y, ref)
+    assert sup.last_report.attempts[0].outcome == "deadline"
+    assert sup.last_report.final_mode == "serial"
+    # Budget exhausted -> serial fallback, well before the hang ends.
+    assert elapsed < 0.5
+
+
+def test_crash_escapes_typed_when_serial_fallback_disabled(
+        small_random_csr, x):
+    fk = ParallelFaultKernel(baseline_kernel(), mode="crash",
+                             fail_applies=math.inf)
+    sup = SupervisedSpMV(small_random_csr, fk, nthreads=2,
+                         max_retries=0, backoff_seconds=0.0,
+                         serial_fallback=False)
+    out = np.zeros(small_random_csr.nrows)
+    with pytest.raises(ParallelExecutionError) as exc_info:
+        sup.matvec(x, out=out)
+    assert exc_info.value.kind == "worker-fault"
+    assert np.isnan(out).all()
+
+
+def test_supervised_matmat_recovers_bit_identical(small_random_csr):
+    X = np.random.default_rng(11).standard_normal(
+        (small_random_csr.ncols, 4)
+    )
+    ref = small_random_csr.matmat(X)
+    fk = ParallelFaultKernel(baseline_kernel(), mode="crash",
+                             fail_applies=1)
+    sup = SupervisedSpMV(small_random_csr, fk, nthreads=4,
+                         backoff_seconds=0.0)
+    Y = sup.matmat(X)
+    np.testing.assert_array_equal(Y, ref)
+    assert sup.last_report.degraded
+
+
+def test_supervise_span_records_ladder(small_random_csr, x):
+    from repro.pipeline import Tracer
+
+    tracer = Tracer()
+    fk = ParallelFaultKernel(baseline_kernel(), mode="crash",
+                             fail_applies=1)
+    sup = SupervisedSpMV(small_random_csr, fk, nthreads=4,
+                         backoff_seconds=0.0, tracer=tracer)
+    sup.matvec(x)
+    (span,) = tracer.find("supervise")
+    supervision = span.attributes["supervision"]
+    assert supervision["degraded"] is True
+    assert supervision["demoted"] is True
+    assert "worker-fault" in supervision["ladder"]
+    assert supervision["attempts"][-1]["outcome"] == "ok"

@@ -21,10 +21,14 @@ def test_save_writes_schema_versioned_json(small_random_csr, tmp_path):
     path = tmp_path / "plans.json"
     assert opt.plan_cache.save(path) == 1
     payload = json.loads(path.read_text())
-    assert payload["schema_version"] == CACHE_SCHEMA_VERSION
-    (entry,) = payload["entries"]
+    assert set(payload) == {"checksum", "body"}
+    body = payload["body"]
+    assert body["schema_version"] == CACHE_SCHEMA_VERSION
+    (entry,) = body["entries"]
     assert set(entry) == {"key", "plan"}
     assert entry["plan"]["kernel_name"]
+    # no temp file left behind by the atomic write
+    assert [p.name for p in tmp_path.iterdir()] == ["plans.json"]
 
 
 def test_loaded_cache_serves_zero_decision_cost(small_random_csr, x300,
@@ -50,13 +54,26 @@ def test_loaded_cache_serves_zero_decision_cost(small_random_csr, x300,
     )
 
 
-def test_load_rejects_unknown_schema(tmp_path):
+def test_strict_load_rejects_unknown_schema(tmp_path):
     path = tmp_path / "bad.json"
     path.write_text(json.dumps(
         {"schema_version": CACHE_SCHEMA_VERSION + 1, "entries": []}
     ))
     with pytest.raises(ValueError, match="unsupported plan-cache schema"):
-        PlanCache.load(path)
+        PlanCache.load(path, strict=True)
+
+
+def test_lenient_load_degrades_unknown_schema_to_empty(tmp_path):
+    from repro.errors import PlanCacheWarning
+
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps(
+        {"schema_version": CACHE_SCHEMA_VERSION + 1, "entries": []}
+    ))
+    with pytest.warns(PlanCacheWarning):
+        cache = PlanCache.load(path)
+    assert len(cache) == 0
+    assert "unsupported plan-cache schema" in cache.load_recovery_reason
 
 
 def test_guarded_optimizer_rewraps_revived_entries(small_random_csr,

@@ -75,6 +75,23 @@ def test_bench_rejects_zero_rhs(capsys):
     assert "--rhs must be >= 1" in capsys.readouterr().err
 
 
+def test_parallel_command_reports_supervision(capsys):
+    assert main(["parallel", "consph", "--platform", "knl",
+                 "--scale", "0.05", "--threads", "1,2",
+                 "--schedule", "balanced-nnz", "--repeats", "1",
+                 "--deadline-ms", "60000", "--max-retries", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "imb (cpu)" in out
+    # A generous budget on a tiny matrix never demotes, and the report
+    # says so explicitly rather than staying silent.
+    assert "degradation ladder: no demotions" in out
+
+
+def test_parallel_command_rejects_bad_threads(capsys):
+    assert main(["parallel", "consph", "--threads", "0,2"]) == 2
+    assert "bad thread list" in capsys.readouterr().err
+
+
 def test_analyze_reports_cache_hit(capsys):
     assert main(["analyze", "consph", "--platform", "knl",
                  "--scale", "0.05"]) == 0
