@@ -1,6 +1,6 @@
 #!/bin/sh
 # Full local gate: lint + tier-1 tests + perf smoke + parallel smoke +
-# fault suite + watchdog smoke.
+# fault suite + watchdog smoke + engine permutation smoke.
 #
 # One command that runs everything CI checks, in the order that fails
 # fastest: the lint gate (scripts/lint.sh: ruff, or a byte-compile
@@ -10,30 +10,41 @@
 # smoke gate (real thread-pool execution at nthreads=2 asserting the
 # measured per-thread CPU-time imbalance sanity), then the full
 # fault-injection suite with *warnings promoted to errors* (a stray
-# RuntimeWarning inside a recovery path is a silent NaN leak), and
-# finally the hang-injection watchdog smoke proving a hung worker is
-# timed out and degraded within the deadline budget instead of
-# blocking the caller. Exit status is the first failing stage's.
+# RuntimeWarning inside a recovery path is a silent NaN leak), then the
+# hang-injection watchdog smoke proving a hung worker is timed out and
+# degraded within the deadline budget instead of blocking the caller,
+# and finally the composable-engine smoke: a permutation matrix through
+# the full guard+supervision stack on 2 threads (warnings as errors)
+# plus the CLI engine-spec round-trip check. Exit status is the first
+# failing stage's.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "check: stage 1/6 lint"
+echo "check: stage 1/7 lint"
 sh scripts/lint.sh
 
-echo "check: stage 2/6 tier-1 tests"
+echo "check: stage 2/7 tier-1 tests"
 PYTHONPATH=src python -m pytest -x -q --ignore=tests/perf
 
-echo "check: stage 3/6 perf smoke"
+echo "check: stage 3/7 perf smoke"
 PYTHONPATH=src python -m pytest -x -q tests/perf
 
-echo "check: stage 4/6 measured-parallel smoke (nthreads=2)"
+echo "check: stage 4/7 measured-parallel smoke (nthreads=2)"
 PYTHONPATH=src python -m pytest -x -q -m perf_smoke tests/perf/test_parallel_smoke.py
 
-echo "check: stage 5/6 fault suite (warnings as errors)"
+echo "check: stage 5/7 fault suite (warnings as errors)"
 PYTHONPATH=src python -m pytest -x -q -W error::RuntimeWarning tests/faults
 
-echo "check: stage 6/6 hang-injection watchdog smoke"
+echo "check: stage 6/7 hang-injection watchdog smoke"
 PYTHONPATH=src python -m pytest -x -q -k watchdog tests/faults/test_parallel_faults.py
+
+echo "check: stage 7/7 engine permutation smoke (guard+supervision, 2 threads)"
+PYTHONPATH=src python -m pytest -x -q -W error::RuntimeWarning \
+    -k permutation_smoke_guard_supervision_two_threads \
+    tests/engine/test_permutations.py
+PYTHONPATH=src python -m repro.cli plan smallfem --explain \
+    | grep -q "engine-spec round-trip: ok" \
+    || { echo "check: engine-spec round-trip FAILED" >&2; exit 1; }
 
 echo "check: all stages passed"

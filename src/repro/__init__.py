@@ -83,6 +83,18 @@ from .parallel import (
     ParallelSpMV,
 )
 from .pipeline import PipelineContext, PipelineRunner, Tracer
+from .engine import (
+    Executor,
+    ExecutorSpec,
+    GuardLayer,
+    ParallelLayer,
+    SupervisedExecutor,
+    SupervisionLayer,
+    SupervisionSpec,
+    TraceLayer,
+    WorkspaceLayer,
+    build_executor,
+)
 from .solvers import SolverReport, bicgstab, cg, gmres, jacobi_preconditioner
 
 __version__ = "1.0.0"
@@ -142,6 +154,17 @@ __all__ = [
     "Tracer",
     "PipelineContext",
     "PipelineRunner",
+    # engine
+    "Executor",
+    "ExecutorSpec",
+    "SupervisionSpec",
+    "build_executor",
+    "GuardLayer",
+    "ParallelLayer",
+    "SupervisionLayer",
+    "WorkspaceLayer",
+    "TraceLayer",
+    "SupervisedExecutor",
     # baselines
     "mkl_csr_kernel",
     "run_mkl_csr",

@@ -8,6 +8,7 @@
     repro-spmv plan NAME --explain        # staged planning breakdown
     repro-spmv trace NAME                 # JSON span export
     repro-spmv validate path/to/matrix.mtx
+    repro-spmv run NAME --engine-spec guard,threads=2,supervise
     repro-spmv bench --rhs 32             # single vs batched GFLOP/s
     repro-spmv parallel NAME --threads 1,2,4,8   # measured imbalance
     repro-spmv experiment fig7-knl --scale 0.5
@@ -36,6 +37,88 @@ from .matrices import (
 )
 
 __all__ = ["main", "build_parser"]
+
+
+#: ``--engine-spec`` help text shared by the subcommands that take one.
+_ENGINE_SPEC_HELP = (
+    "execution-stack spec: comma-separated tokens among "
+    "guard, threads=N, schedule=NAME, chunk-rows=N, supervise, "
+    "deadline-ms=F, retries=N, backoff-ms=F, no-serial-fallback, "
+    "workspace=shared|thread-local, trace "
+    "(e.g. 'guard,threads=4,supervise,deadline-ms=500')"
+)
+
+
+def parse_engine_spec(text: str):
+    """Parse a compact ``--engine-spec`` string into an
+    :class:`~repro.engine.ExecutorSpec`.
+
+    Supervision tokens (``deadline-ms`` / ``retries`` / ``backoff-ms``
+    / ``no-serial-fallback``) imply ``supervise``; ``supervise`` and
+    the parallel tokens require ``threads=N``.
+    """
+    from .engine import ExecutorSpec, SupervisionSpec
+
+    guard = False
+    trace = False
+    workspace = "none"
+    threads = None
+    schedule = "balanced-nnz"
+    chunk_rows = None
+    supervise = False
+    sup_kwargs: dict = {}
+    for raw in text.split(","):
+        token = raw.strip()
+        if not token:
+            continue
+        key, _, value = token.partition("=")
+        key = key.strip().lower()
+        value = value.strip()
+        if key == "guard" and not value:
+            guard = True
+        elif key == "trace" and not value:
+            trace = True
+        elif key == "supervise" and not value:
+            supervise = True
+        elif key == "workspace":
+            workspace = value
+        elif key == "threads":
+            threads = int(value)
+        elif key == "schedule":
+            schedule = value
+        elif key == "chunk-rows":
+            chunk_rows = int(value)
+        elif key == "deadline-ms":
+            supervise = True
+            sup_kwargs["deadline_seconds"] = float(value) / 1e3
+        elif key == "retries":
+            supervise = True
+            sup_kwargs["max_retries"] = int(value)
+        elif key == "backoff-ms":
+            supervise = True
+            sup_kwargs["backoff_seconds"] = float(value) / 1e3
+        elif key == "no-serial-fallback" and not value:
+            supervise = True
+            sup_kwargs["serial_fallback"] = False
+        else:
+            raise ValueError(f"unknown engine-spec token {token!r}")
+    if supervise and threads is None:
+        raise ValueError(
+            "engine-spec: supervision tokens require threads=N"
+        )
+    parallel = None
+    if threads is not None:
+        from .parallel import ParallelConfig
+
+        parallel = ParallelConfig(nthreads=threads, schedule=schedule,
+                                  chunk_rows=chunk_rows)
+    return ExecutorSpec(
+        guard=guard,
+        parallel=parallel,
+        supervision=SupervisionSpec(**sup_kwargs) if supervise else None,
+        workspace=workspace,
+        trace=trace,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,6 +172,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("-o", "--output", default="-", metavar="PATH",
                          help="trace JSON path ('-' for stdout)")
 
+    p_run = sub.add_parser(
+        "run",
+        help="optimize one matrix and execute it through a composed "
+        "engine stack",
+    )
+    p_run.add_argument("matrix",
+                       help="suite matrix name or MatrixMarket file path")
+    p_run.add_argument("--platform", default="knl",
+                       choices=sorted(PLATFORMS))
+    p_run.add_argument("--scale", type=float, default=1.0)
+    p_run.add_argument("--engine-spec", default=None, metavar="SPEC",
+                       help=_ENGINE_SPEC_HELP)
+    p_run.add_argument("--repeats", type=int, default=3,
+                       help="apply repetitions (best wall is kept)")
+
     p_val = sub.add_parser(
         "validate",
         help="validate a MatrixMarket file (structure + values); "
@@ -130,6 +228,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--threads", default="1,2,4,8",
                          help="comma-separated thread counts for the "
                          "measured-parallel section")
+    p_bench.add_argument("--engine-spec", default=None, metavar="SPEC",
+                         help=_ENGINE_SPEC_HELP + "; layered around the "
+                         "measured-parallel cells (threads/schedule come "
+                         "from the sweep grid)")
 
     p_par = sub.add_parser(
         "parallel",
@@ -156,6 +258,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_par.add_argument("--max-retries", type=int, default=2,
                        help="reduced-width retries before the serial "
                        "fallback (default 2)")
+    p_par.add_argument("--engine-spec", default=None, metavar="SPEC",
+                       help=_ENGINE_SPEC_HELP + "; guard/supervision "
+                       "axes compose with the sweep (threads/schedule "
+                       "come from --threads/--schedule)")
 
     sub.add_parser("experiments", help="list experiment ids")
 
@@ -264,6 +370,15 @@ def _cmd_plan(args) -> int:
             f"plan total overhead is "
             f"{1e3 * plan.total_overhead_seconds:.6f} ms"
         )
+        # The plan IR embeds the execution stack; prove the spec
+        # survives serialization (what PlanCache.save persists and a
+        # fresh process rebuilds from).
+        from .engine import ExecutorSpec
+
+        spec = plan.executor_spec
+        roundtrip = ExecutorSpec.from_dict(spec.to_dict())
+        status = "ok" if roundtrip == spec else "MISMATCH"
+        print(f"engine-spec round-trip: {status} [{spec.signature()}]")
     if args.save_cache:
         n = (optimizer.plan_cache.save(args.save_cache)
              if optimizer.plan_cache is not None else 0)
@@ -290,6 +405,51 @@ def _cmd_trace(args) -> int:
             f"{result.gflops:.2f} Gflop/s simulated)"
         )
     return 0
+
+
+def _cmd_run(args) -> int:
+    import time
+
+    import numpy as np
+
+    from .engine import ExecutorSpec
+    from .pipeline import Tracer
+
+    try:
+        spec = (parse_engine_spec(args.engine_spec)
+                if args.engine_spec else ExecutorSpec())
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    machine = get_platform(args.platform)
+    csr = _load_matrix(args.matrix, args.scale)
+    optimizer = AdaptiveSpMV(machine, classifier="profile", spec=spec)
+    op = optimizer.optimize(csr)
+    tracer = Tracer() if spec.trace else None
+    engine = op.executor(tracer=tracer)
+    print(f"plan:  {op.plan}")
+    print(f"spec:  {spec.signature()}")
+    print(f"stack: {engine.describe()}")
+    x = np.linspace(-1.0, 1.0, csr.ncols)
+    out = np.empty(csr.nrows)
+    engine.apply(x, out=out)  # warm up pool + workspace
+    best = None
+    for _ in range(max(1, args.repeats)):
+        t0 = time.perf_counter()
+        engine.apply(x, out=out)
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+    identical = bool(np.array_equal(out, csr.matvec(x)))
+    flops = 2.0 * csr.nnz
+    print(
+        f"best wall {1e3 * best:.3f} ms "
+        f"({flops / best / 1e9:.2f} Gflop/s, best of {args.repeats}); "
+        f"bit-identical to serial CSR: {identical}"
+    )
+    if tracer is not None:
+        print(f"trace: {len(tracer)} spans recorded")
+    return 0 if identical else 1
 
 
 def _cmd_validate(args) -> int:
@@ -335,10 +495,17 @@ def _cmd_bench(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    engine_spec = None
+    if args.engine_spec:
+        try:
+            engine_spec = parse_engine_spec(args.engine_spec)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     out = None if args.output == "-" else args.output
     table = bench_batched.run(
         rhs=args.rhs, scale=args.scale, repeats=args.repeats,
-        out_path=out, threads=threads,
+        out_path=out, threads=threads, engine_spec=engine_spec,
     )
     print(table.to_text())
     return 0
@@ -364,16 +531,30 @@ def _cmd_parallel(args) -> int:
         return 2
     schedules = ([args.schedule] if args.schedule
                  else list(SCHEDULE_POLICIES))
+    spec = None
+    if args.engine_spec:
+        try:
+            spec = parse_engine_spec(args.engine_spec)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     machine = get_platform(args.platform)
     csr = _load_matrix(args.matrix, args.scale)
     kernel = baseline_kernel()
-    if args.guard:
-        from .guard.guarded import GuardedKernel
+    if args.guard or (spec is not None and spec.guard):
+        from .engine import GuardLayer
 
-        kernel = GuardedKernel(kernel)
+        kernel = GuardLayer().wrap(kernel)
     deadline_seconds = (
         None if args.deadline_ms is None else args.deadline_ms / 1e3
     )
+    max_retries = args.max_retries
+    if spec is not None and spec.supervision is not None:
+        # Explicit flags win; the spec fills whatever was left default.
+        if deadline_seconds is None:
+            deadline_seconds = spec.supervision.deadline_seconds
+        if max_retries == 2:
+            max_retries = spec.supervision.max_retries
     runner = PipelineRunner(machine)
     rows = []
     ladders = []
@@ -383,7 +564,7 @@ def _cmd_parallel(args) -> int:
                 kernel, csr, nthreads, schedule=schedule,
                 repeats=args.repeats,
                 deadline_seconds=deadline_seconds,
-                max_retries=args.max_retries,
+                max_retries=max_retries,
             )
             if meas is not None:
                 rows.append((
@@ -415,14 +596,14 @@ def _cmd_parallel(args) -> int:
         budget = ("none" if deadline_seconds is None
                   else f"{1e3 * deadline_seconds:.1f} ms")
         print(f"degradation ladder (deadline budget {budget}, "
-              f"max retries {args.max_retries}):")
+              f"max retries {max_retries}):")
         for schedule, nthreads, report in ladders:
             final = ("serial" if report.final_mode != "parallel"
                      else f"t{report.final_nthreads}")
             print(f"  {schedule} t{nthreads}: {report.ladder()} "
                   f"[final {final}, "
                   f"{1e3 * report.wall_seconds:.2f} ms]")
-    elif deadline_seconds is not None or args.max_retries != 2:
+    elif deadline_seconds is not None or max_retries != 2:
         print("degradation ladder: no demotions (every run completed "
               "at the requested width)")
     return 0
@@ -528,6 +709,7 @@ def main(argv: list[str] | None = None) -> int:
         "analyze": _cmd_analyze,
         "plan": _cmd_plan,
         "trace": _cmd_trace,
+        "run": _cmd_run,
         "validate": _cmd_validate,
         "bench": _cmd_bench,
         "parallel": _cmd_parallel,

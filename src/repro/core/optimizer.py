@@ -34,6 +34,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from ..engine.spec import ExecutorSpec
 from ..errors import PlanCacheWarning
 from ..formats import CSRMatrix
 from ..kernels import (
@@ -68,8 +69,11 @@ __all__ = [
     "reset_plan_cache_load_recoveries",
 ]
 
-#: Version of the serialized :class:`OptimizationPlan` IR.
-PLAN_SCHEMA_VERSION = 1
+#: Version of the serialized :class:`OptimizationPlan` IR. v2 adds the
+#: ``executor_spec`` field (:class:`~repro.engine.ExecutorSpec`);
+#: :meth:`OptimizationPlan.from_dict` still reads v1 payloads, upgrading
+#: them to the default (serial, unguarded) spec.
+PLAN_SCHEMA_VERSION = 2
 
 #: Version of the :meth:`PlanCache.save` file layout. v2 wraps the v1
 #: payload in a ``{"checksum", "body"}`` envelope and is written
@@ -429,6 +433,11 @@ class OptimizationPlan:
     classifier_kind: str
     cache_hit: bool = False      # served from a PlanCache?
     quarantined: tuple[str, ...] = ()  # variants skipped as quarantined
+    #: how the planned kernel executes (:class:`~repro.engine.
+    #: ExecutorSpec`): which middleware layers wrap it and with what
+    #: configuration. Serialized with the plan, so a warm-started cache
+    #: entry rebuilds the exact same stack in a fresh process.
+    executor_spec: ExecutorSpec = field(default_factory=ExecutorSpec)
 
     @property
     def total_overhead_seconds(self) -> float:
@@ -447,18 +456,31 @@ class OptimizationPlan:
             "classifier_kind": self.classifier_kind,
             "cache_hit": bool(self.cache_hit),
             "quarantined": list(self.quarantined),
+            "executor_spec": self.executor_spec.to_dict(),
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "OptimizationPlan":
-        """Inverse of :meth:`to_dict`; rejects unknown schema versions."""
+        """Inverse of :meth:`to_dict`; rejects unknown schema versions.
+
+        v1 payloads (written before the execution engine existed) are
+        still accepted: they carry no ``executor_spec``, so the entry is
+        upgraded to the default serial spec — exactly how those plans
+        executed — instead of being dropped on cache load.
+        """
         version = payload.get("schema_version")
-        if version != PLAN_SCHEMA_VERSION:
+        if version not in (1, PLAN_SCHEMA_VERSION):
             raise ValueError(
                 f"unsupported plan schema {version!r} "
                 f"(this build reads {PLAN_SCHEMA_VERSION})"
             )
+        spec_payload = payload.get("executor_spec")
+        executor_spec = (
+            ExecutorSpec() if spec_payload is None
+            else ExecutorSpec.from_dict(spec_payload)
+        )
         return cls(
+            executor_spec=executor_spec,
             classes=frozenset(
                 Bottleneck(v) for v in payload["classes"]
             ),
@@ -496,10 +518,53 @@ class OptimizedSpMV:
     #: the optimizer's :class:`~repro.parallel.ParallelConfig` (None
     #: for serial planning); consumed by :meth:`parallel_operator`.
     parallel_config: object | None = field(default=None, repr=False)
+    #: memoized :class:`~repro.engine.KernelExecutor` behind
+    #: ``matvec``/``matmat``; rebuilt whenever ``kernel``/``data`` are
+    #: reassigned (identity-checked per call, so live mutation of the
+    #: operator keeps working).
+    _engine_cache: object | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def shape(self) -> tuple[int, int]:
         return self.csr.shape
+
+    def _engine(self):
+        """The serial engine leaf this operator applies through."""
+        from ..engine.executor import KernelExecutor
+
+        cached = self._engine_cache
+        if (
+            cached is None
+            or cached.kernel is not self.kernel
+            or cached.data is not self.data
+        ):
+            cached = KernelExecutor(self.csr, self.kernel, data=self.data)
+            self._engine_cache = cached
+        return cached
+
+    def executor(self, spec: ExecutorSpec | None = None, *, tracer=None):
+        """Assemble the full engine stack for the planned kernel.
+
+        Defaults to the plan's own :class:`~repro.engine.ExecutorSpec`
+        (``plan.executor_spec``), sharing this operator's warm
+        workspace arena; pass ``spec=`` to compose a different stack
+        over the same planned kernel and data.
+        """
+        from ..engine.layers import build_executor
+
+        if spec is None:
+            spec = self.plan.executor_spec
+        arena = self.workspace
+        if spec.workspace == "thread-local" and not arena.thread_local:
+            # The operator's warm arena is single-threaded; a spec that
+            # asks for thread-local isolation gets a fresh arena rather
+            # than a silently-shared one.
+            arena = None
+        return build_executor(self.csr, spec, kernel=self.kernel,
+                              data=self.data, tracer=tracer,
+                              workspace=arena)
 
     def matvec(self, x: np.ndarray,
                out: np.ndarray | None = None) -> np.ndarray:
@@ -508,15 +573,14 @@ class OptimizedSpMV:
         With ``out=`` the result lands in the caller-owned buffer and,
         after a warm-up apply populates the operator's workspace, the
         steady state allocates no new arrays."""
-        return self.kernel.apply(self.data, x, out=out,
-                                 workspace=self.workspace)
+        return self._engine().apply(x, out=out, workspace=self.workspace)
 
     def matmat(self, X: np.ndarray,
                out: np.ndarray | None = None) -> np.ndarray:
         """Batched ``A @ X`` for ``X`` of shape ``(ncols, k)`` through
         the kernel's multi-RHS plane."""
-        return self.kernel.apply_multi(self.data, X, out=out,
-                                       workspace=self.workspace)
+        return self._engine().apply_multi(X, out=out,
+                                          workspace=self.workspace)
 
     def __matmul__(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x)
@@ -532,12 +596,15 @@ class OptimizedSpMV:
         Returns a :class:`~repro.parallel.ParallelSpMV` that runs the
         *planned* kernel on a thread pool. Defaults come from the
         optimizer's :class:`~repro.parallel.ParallelConfig` when one was
-        supplied (``AdaptiveSpMV(..., parallel=...)``); otherwise
-        ``nthreads`` must be given.
+        supplied (``AdaptiveSpMV(..., parallel=...)`` — also recorded
+        on ``plan.executor_spec.parallel``); otherwise ``nthreads``
+        must be given.
         """
         from ..parallel import ParallelSpMV
 
         cfg = self.parallel_config
+        if cfg is None:
+            cfg = self.plan.executor_spec.parallel
         if nthreads is None:
             if cfg is None:
                 raise ValueError(
@@ -578,14 +645,21 @@ class AdaptiveSpMV:
         optimizers or warm-start across processes, or ``False`` to
         disable caching.
     guard
-        When true, the selected kernel is wrapped in a
-        :class:`~repro.guard.guarded.GuardedKernel`: runtime faults
-        quarantine the variant and fall back to the reference CSR
-        numeric plane instead of escaping. Independently of ``guard``,
-        the optimizer never *plans* an already-quarantined variant (it
-        substitutes the baseline kernel and notes the skipped name in
+        When true, the selected kernel is wrapped by the engine's
+        :class:`~repro.engine.GuardLayer`: runtime faults quarantine
+        the variant and fall back to the reference CSR numeric plane
+        instead of escaping. Independently of ``guard``, the optimizer
+        never *plans* an already-quarantined variant (it substitutes
+        the baseline kernel and notes the skipped name in
         ``OptimizationPlan.quarantined``), and cached entries whose
         kernel has since been quarantined are invalidated on lookup.
+    spec
+        A full :class:`~repro.engine.ExecutorSpec` describing the
+        execution stack plans should carry. Subsumes the ``guard`` /
+        ``parallel`` shorthands (which are folded in when ``spec`` is
+        omitted); the spec is recorded on every built plan
+        (``plan.executor_spec``) and its non-observability axes
+        partition the plan-cache keys.
     stages
         The planning pipeline to compose (default:
         :func:`~repro.pipeline.stages.default_planning_stages`, i.e.
@@ -603,20 +677,39 @@ class AdaptiveSpMV:
         guard: bool = False,
         stages=None,
         parallel=None,
+        spec: ExecutorSpec | None = None,
     ):
         self.machine = machine
         self.pool = pool or DEFAULT_POOL
         self.nthreads = nthreads
-        self.guard = bool(guard)
         if parallel is not None and not hasattr(parallel, "signature"):
             raise TypeError(
                 "parallel must be a repro.parallel.ParallelConfig "
                 "(or any object with a signature() method), got "
                 f"{type(parallel).__name__}"
             )
+        if spec is None:
+            spec = ExecutorSpec(guard=bool(guard), parallel=parallel)
+        else:
+            if not isinstance(spec, ExecutorSpec):
+                raise TypeError(
+                    "spec must be a repro.engine.ExecutorSpec, got "
+                    f"{type(spec).__name__}"
+                )
+            # The shorthands compose *into* an explicit spec rather
+            # than silently losing against it.
+            if guard and not spec.guard:
+                spec = replace(spec, guard=True)
+            if parallel is not None and spec.parallel is None:
+                spec = replace(spec, parallel=parallel)
+        #: the :class:`~repro.engine.ExecutorSpec` recorded on every
+        #: plan this optimizer builds; its parallel/supervision/
+        #: workspace axes partition the plan-cache keys.
+        self.spec = spec
+        self.guard = spec.guard
         #: optional :class:`~repro.parallel.ParallelConfig`; folded into
         #: cache keys and attached to optimized operators.
-        self.parallel = parallel
+        self.parallel = spec.parallel
         self.stages = (
             tuple(stages) if stages is not None
             else default_planning_stages()
@@ -670,13 +763,16 @@ class AdaptiveSpMV:
         )
 
     def _execution_signature(self) -> str:
-        """Content string of the execution configuration axis."""
+        """Content string of the execution configuration axis.
+
+        Delegates to :meth:`~repro.engine.ExecutorSpec.cache_signature`,
+        which excludes the guard/trace axes (guarding re-wraps on
+        lookup, tracing is observability) and collapses to the exact
+        pre-engine strings for legacy-equivalent specs, so plan caches
+        saved by earlier builds still warm-start.
+        """
         nthreads = "default" if self.nthreads is None else int(self.nthreads)
-        parallel = (
-            self.parallel.signature() if self.parallel is not None
-            else "serial"
-        )
-        return f"nthreads={nthreads};{parallel}"
+        return f"nthreads={nthreads};{self.spec.cache_signature()}"
 
     def _run_stages(self, csr: CSRMatrix, materialize: bool,
                     tracer: Tracer) -> PipelineContext:
@@ -690,6 +786,7 @@ class AdaptiveSpMV:
             guard=self.guard,
             materialize=materialize,
             nthreads=self.nthreads,
+            spec=self.spec,
             tracer=tracer,
         )
         return run_stages(self.stages, ctx)
@@ -717,13 +814,14 @@ class AdaptiveSpMV:
             entry = None
             invalidated = True
         if entry is not None and self.guard:
-            from ..guard.guarded import GuardedKernel
+            from ..engine.layers import GuardLayer
 
-            if not isinstance(entry.kernel, GuardedKernel):
+            layer = GuardLayer()
+            if not layer.is_guarded(entry.kernel):
                 # Revived/shared entry planned without the guard: wrap
                 # it and drop its data (typed for the unwrapped kernel).
                 entry = _CacheEntry(
-                    entry.plan, GuardedKernel(entry.kernel), None, None
+                    entry.plan, layer.wrap(entry.kernel), None, None
                 )
                 self.plan_cache.store(key, entry)
         if tracer is not None:
@@ -747,8 +845,11 @@ class AdaptiveSpMV:
         own_tracer = tracer if tracer is not None else Tracer()
         key, entry = self._lookup(csr, own_tracer)
         if entry is not None:
+            # A hit serves *this* optimizer's execution stack (the
+            # cached decision is shared; e.g. a guarded optimizer hits
+            # an unguarded entry and re-wraps on lookup).
             plan = replace(entry.plan, decision_seconds=0.0,
-                           cache_hit=True)
+                           cache_hit=True, executor_spec=self.spec)
             # The retained setup forecast is charged to the cache span
             # so traced stage totals always match the plan.
             own_tracer.spans[-1].charged_seconds = plan.setup_seconds
@@ -778,7 +879,8 @@ class AdaptiveSpMV:
             kernel = entry.kernel
             if entry.data is not None and entry.values_digest == digest:
                 plan = replace(entry.plan, decision_seconds=0.0,
-                               setup_seconds=0.0, cache_hit=True)
+                               setup_seconds=0.0, cache_hit=True,
+                               executor_spec=self.spec)
                 return OptimizedSpMV(
                     csr=csr, kernel=kernel, data=entry.data,
                     machine=self.machine, plan=plan,
@@ -794,7 +896,7 @@ class AdaptiveSpMV:
             entry.data = data
             entry.values_digest = digest
             plan = replace(entry.plan, decision_seconds=0.0,
-                           cache_hit=True)
+                           cache_hit=True, executor_spec=self.spec)
             return OptimizedSpMV(
                 csr=csr, kernel=kernel, data=data,
                 machine=self.machine, plan=plan,

@@ -1,0 +1,81 @@
+"""repro.engine — the composable middleware execution engine.
+
+One execution surface (:class:`Executor`: ``apply``/``apply_multi``
+with the zero-allocation ``out=``/``workspace=`` contract), five
+middleware layers (guard, parallel, supervision, workspace, trace) and
+a declarative, schema-versioned :class:`ExecutorSpec` that
+:func:`build_executor` assembles into a stack. Specs serialize into
+the :class:`~repro.core.optimizer.OptimizationPlan` IR, so a
+warm-started plan rebuilds the exact same stack in a fresh process::
+
+    from repro.engine import ExecutorSpec, SupervisionSpec, build_executor
+    from repro.parallel import ParallelConfig
+
+    spec = ExecutorSpec(guard=True,
+                        parallel=ParallelConfig(nthreads=4),
+                        supervision=SupervisionSpec(deadline_seconds=0.5),
+                        workspace="thread-local")
+    engine = build_executor(csr, spec)
+    y = engine.apply(x)                     # == csr.matvec(x), bit-identical
+
+See docs/architecture.md ("The execution engine") for the layer-stack
+diagram and the composition rules.
+"""
+
+from .executor import Executor, ExecutorBase, KernelExecutor, ParallelExecutor
+from .guard import GuardedData, GuardedKernel
+from .layers import (
+    GuardLayer,
+    ParallelLayer,
+    SupervisionLayer,
+    TraceExecutor,
+    TraceLayer,
+    WorkspaceExecutor,
+    WorkspaceLayer,
+    build_executor,
+)
+from .spec import (
+    ENGINE_SPEC_SCHEMA_VERSION,
+    WORKSPACE_MODES,
+    ExecutorSpec,
+    SupervisionSpec,
+)
+from .supervision import (
+    AttemptRecord,
+    SupervisedExecutor,
+    SupervisionReport,
+    clear_demotions,
+    demoted_target,
+    demotion_count,
+    demotion_log,
+    record_demotion,
+)
+
+__all__ = [
+    "ENGINE_SPEC_SCHEMA_VERSION",
+    "WORKSPACE_MODES",
+    "AttemptRecord",
+    "Executor",
+    "ExecutorBase",
+    "ExecutorSpec",
+    "GuardLayer",
+    "GuardedData",
+    "GuardedKernel",
+    "KernelExecutor",
+    "ParallelExecutor",
+    "ParallelLayer",
+    "SupervisedExecutor",
+    "SupervisionLayer",
+    "SupervisionReport",
+    "SupervisionSpec",
+    "TraceExecutor",
+    "TraceLayer",
+    "WorkspaceExecutor",
+    "WorkspaceLayer",
+    "build_executor",
+    "clear_demotions",
+    "demoted_target",
+    "demotion_count",
+    "demotion_log",
+    "record_demotion",
+]

@@ -1,0 +1,181 @@
+"""The executor protocol and the terminal executors.
+
+An :class:`Executor` is the engine's one execution surface: ``apply``
+(single RHS) and ``apply_multi`` (batched RHS), both honoring the
+zero-allocation ``out=``/``workspace=`` contract of the formats and
+kernels. Every middleware layer (:mod:`repro.engine.layers`) consumes
+an executor (or lifts a kernel into one) and produces another executor,
+so stacks compose mechanically instead of each feature hand-wiring its
+own wrapper.
+
+Two terminal executors live here:
+
+* :class:`KernelExecutor` — run one preprocessed kernel serially (the
+  engine's leaf; what ``OptimizedSpMV.matvec`` executes through);
+* :class:`ParallelExecutor` — run the kernel's partition on the
+  shared-memory thread pool (:class:`~repro.parallel.plane.
+  ParallelKernel`), bit-identical to serial by construction.
+
+For callers that predate the engine, every executor also exposes the
+operator-facade aliases ``matvec``/``matmat``/``__matmul__``/``shape``.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..formats import CSRMatrix
+from ..kernels.base import Kernel
+
+__all__ = ["Executor", "ExecutorBase", "KernelExecutor",
+           "ParallelExecutor"]
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """One composed execution stack: the engine's run-time surface."""
+
+    def apply(self, x: np.ndarray, out: np.ndarray | None = None,
+              workspace=None) -> np.ndarray:
+        """Compute ``A @ x`` (1-D operand) through the stack."""
+        ...  # pragma: no cover - protocol
+
+    def apply_multi(self, X: np.ndarray, out: np.ndarray | None = None,
+                    workspace=None) -> np.ndarray:
+        """Compute the batched ``A @ X`` (2-D operand) through the
+        stack."""
+        ...  # pragma: no cover - protocol
+
+
+class ExecutorBase:
+    """Shared operator-facade surface of every engine executor."""
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.csr.shape
+
+    # Operator-facade aliases: solvers and legacy call sites speak
+    # matvec/matmat; the engine protocol speaks apply/apply_multi.
+    def matvec(self, x: np.ndarray, out: np.ndarray | None = None,
+               workspace=None) -> np.ndarray:
+        return self.apply(x, out=out, workspace=workspace)
+
+    def matmat(self, X: np.ndarray, out: np.ndarray | None = None,
+               workspace=None) -> np.ndarray:
+        return self.apply_multi(X, out=out, workspace=workspace)
+
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        if x.ndim == 2:
+            return self.apply_multi(x)
+        return self.apply(x)
+
+    def describe(self) -> str:
+        """Human-readable stack composition, innermost last."""
+        return type(self).__name__
+
+
+class KernelExecutor(ExecutorBase):
+    """Terminal executor: one preprocessed kernel, run serially."""
+
+    def __init__(self, csr: CSRMatrix, kernel: Kernel | None = None,
+                 data=None):
+        if kernel is None:
+            from ..kernels.variants import baseline_kernel
+
+            kernel = baseline_kernel()
+        self.csr = csr
+        self.kernel = kernel
+        self.data = data if data is not None else kernel.preprocess(csr)
+
+    def apply(self, x: np.ndarray, out: np.ndarray | None = None,
+              workspace=None) -> np.ndarray:
+        return self.kernel.apply(self.data, x, out=out,
+                                 workspace=workspace)
+
+    def apply_multi(self, X: np.ndarray, out: np.ndarray | None = None,
+                    workspace=None) -> np.ndarray:
+        return self.kernel.apply_multi(self.data, X, out=out,
+                                       workspace=workspace)
+
+    def describe(self) -> str:
+        return f"kernel[{self.kernel.name}]"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<KernelExecutor {self.kernel!r} {self.csr!r}>"
+
+
+class ParallelExecutor(ExecutorBase):
+    """Terminal executor: the kernel's partition on the thread pool.
+
+    The engine-side core of the historical
+    :class:`~repro.parallel.plane.ParallelSpMV` facade: one
+    :class:`~repro.parallel.plane.ParallelKernel` plus its preprocessed
+    per-chunk data, applying contiguous row blocks into disjoint
+    ``out=`` slices — bit-identical to serial execution by
+    construction.
+    """
+
+    def __init__(self, csr: CSRMatrix, kernel: Kernel | None = None, *,
+                 nthreads: int, schedule: str = "balanced-nnz",
+                 chunk_rows: int | None = None):
+        from ..parallel.plane import ParallelKernel
+
+        if kernel is None:
+            from ..kernels.variants import baseline_kernel
+
+            kernel = baseline_kernel()
+        self.csr = csr
+        self.kernel = ParallelKernel(kernel, nthreads=nthreads,
+                                     schedule=schedule,
+                                     chunk_rows=chunk_rows)
+        self.data = self.kernel.preprocess(csr)
+
+    @property
+    def nthreads(self) -> int:
+        return self.data.nthreads
+
+    @property
+    def partition(self):
+        return self.data.partition
+
+    @property
+    def last_measurement(self):
+        return self.kernel.last_measurement
+
+    def apply(self, x: np.ndarray, out: np.ndarray | None = None,
+              workspace=None,
+              deadline_seconds: float | None = None) -> np.ndarray:
+        return self.kernel.apply(self.data, x, out=out,
+                                 workspace=workspace,
+                                 deadline_seconds=deadline_seconds)
+
+    def apply_multi(self, X: np.ndarray, out: np.ndarray | None = None,
+                    workspace=None,
+                    deadline_seconds: float | None = None) -> np.ndarray:
+        return self.kernel.apply_multi(self.data, X, out=out,
+                                       workspace=workspace,
+                                       deadline_seconds=deadline_seconds)
+
+    def matvec(self, x: np.ndarray, out: np.ndarray | None = None,
+               workspace=None,
+               deadline_seconds: float | None = None) -> np.ndarray:
+        return self.apply(x, out=out, workspace=workspace,
+                          deadline_seconds=deadline_seconds)
+
+    def matmat(self, X: np.ndarray, out: np.ndarray | None = None,
+               workspace=None,
+               deadline_seconds: float | None = None) -> np.ndarray:
+        return self.apply_multi(X, out=out, workspace=workspace,
+                                deadline_seconds=deadline_seconds)
+
+    def describe(self) -> str:
+        return (
+            f"parallel[t{self.kernel.nthreads}/"
+            f"{self.kernel.schedule}] -> kernel[{self.kernel.inner.name}]"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ParallelExecutor {self.kernel!r} {self.csr!r}>"

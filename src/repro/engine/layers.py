@@ -1,0 +1,278 @@
+"""The five middleware layers and the stack assembler.
+
+Each layer is a tiny object that either *wraps a kernel* (the guard
+operates at kernel granularity so it composes under the parallel
+plane), *lifts a kernel into an executor* (parallel / supervision are
+where execution strategy is decided), or *wraps an executor*
+(workspace injection, tracing). :func:`build_executor` assembles them
+in the one canonical order from a declarative
+:class:`~repro.engine.spec.ExecutorSpec`::
+
+    trace( workspace( supervision|parallel|kernel( guard(kernel) ) ) )
+
+The composed stack is bit-identical to the hand-written wrappers it
+replaced: the guard still quarantines and falls back to CSR, the
+parallel plane still writes disjoint ``out=`` slices of contiguous row
+chunks, and the supervision ladder still degrades
+retry -> reduced width -> serial exactly as
+``SupervisedSpMV`` did (it *is* the same implementation, reached
+through :class:`SupervisionLayer`).
+"""
+
+from __future__ import annotations
+
+from ..formats import CSRMatrix
+from ..kernels.base import Kernel
+from ..memory import Workspace
+from .executor import ExecutorBase, KernelExecutor, ParallelExecutor
+from .guard import GuardedKernel
+from .spec import ExecutorSpec, SupervisionSpec
+from .supervision import SupervisedExecutor
+
+__all__ = [
+    "GuardLayer",
+    "ParallelLayer",
+    "SupervisionLayer",
+    "WorkspaceLayer",
+    "TraceLayer",
+    "build_executor",
+]
+
+
+class GuardLayer:
+    """Kernel middleware: quarantine faults, fall back to CSR."""
+
+    name = "guard"
+
+    @staticmethod
+    def is_guarded(kernel) -> bool:
+        return isinstance(kernel, GuardedKernel)
+
+    def wrap(self, kernel: Kernel) -> Kernel:
+        """Wrap ``kernel`` in the guard; idempotent on an already
+        guarded kernel (same object back, no re-wrap)."""
+        if self.is_guarded(kernel):
+            return kernel
+        return GuardedKernel(kernel)
+
+
+class ParallelLayer:
+    """Lift a kernel onto the shared-memory thread pool."""
+
+    name = "parallel"
+
+    def __init__(self, config):
+        if not hasattr(config, "nthreads"):
+            raise TypeError(
+                "ParallelLayer needs a ParallelConfig-like object, "
+                f"got {type(config).__name__}"
+            )
+        self.config = config
+
+    def lift(self, csr: CSRMatrix,
+             kernel: Kernel | None = None) -> ParallelExecutor:
+        return ParallelExecutor(
+            csr, kernel,
+            nthreads=self.config.nthreads,
+            schedule=self.config.schedule,
+            chunk_rows=self.config.chunk_rows,
+        )
+
+
+class SupervisionLayer:
+    """Lift a kernel onto the fault-tolerant degradation ladder."""
+
+    name = "supervision"
+
+    def __init__(self, config, supervision: SupervisionSpec | None = None,
+                 tracer=None):
+        if not hasattr(config, "nthreads"):
+            raise TypeError(
+                "SupervisionLayer needs a ParallelConfig-like object, "
+                f"got {type(config).__name__}"
+            )
+        self.config = config
+        self.supervision = (
+            supervision if supervision is not None else SupervisionSpec()
+        )
+        self.tracer = tracer
+
+    def lift(self, csr: CSRMatrix,
+             kernel: Kernel | None = None) -> SupervisedExecutor:
+        sup = self.supervision
+        return SupervisedExecutor(
+            csr, kernel,
+            nthreads=self.config.nthreads,
+            schedule=self.config.schedule,
+            chunk_rows=self.config.chunk_rows,
+            deadline_seconds=sup.deadline_seconds,
+            max_retries=sup.max_retries,
+            backoff_seconds=sup.backoff_seconds,
+            serial_fallback=sup.serial_fallback,
+            tracer=self.tracer,
+        )
+
+
+class _DelegatingExecutor(ExecutorBase):
+    """Executor wrapper base: unknown attributes (``last_report``,
+    ``last_measurement``, ``partition``, ``csr``, ...) resolve through
+    the wrapped executor, so outer layers never hide inner telemetry."""
+
+    def __init__(self, inner):
+        self.inner = inner
+
+    def __getattr__(self, name):
+        # Only reached for attributes not found on the wrapper itself.
+        return getattr(self.inner, name)
+
+
+class WorkspaceExecutor(_DelegatingExecutor):
+    """Injects a default scratch arena into every apply."""
+
+    def __init__(self, inner, arena: Workspace):
+        super().__init__(inner)
+        self.arena = arena
+
+    def apply(self, x, out=None, workspace=None):
+        return self.inner.apply(
+            x, out=out,
+            workspace=workspace if workspace is not None else self.arena,
+        )
+
+    def apply_multi(self, X, out=None, workspace=None):
+        return self.inner.apply_multi(
+            X, out=out,
+            workspace=workspace if workspace is not None else self.arena,
+        )
+
+    def describe(self) -> str:
+        mode = "thread-local" if self.arena.thread_local else "shared"
+        return f"workspace[{mode}] -> {self.inner.describe()}"
+
+
+class WorkspaceLayer:
+    """Give the stack a default :class:`~repro.memory.Workspace` arena.
+
+    ``mode`` is ``"shared"`` (one arena, single-threaded reuse) or
+    ``"thread-local"`` (per-thread buffer stores, safe under the
+    parallel plane). An existing arena can be injected via ``arena=``
+    (e.g. the plan-cache entry's warm arena).
+    """
+
+    name = "workspace"
+
+    def __init__(self, mode: str = "shared",
+                 arena: Workspace | None = None):
+        if mode not in ("shared", "thread-local"):
+            raise ValueError(
+                f"mode must be 'shared' or 'thread-local', got {mode!r}"
+            )
+        self.mode = mode
+        self.arena = (
+            arena if arena is not None
+            else Workspace(thread_local=(mode == "thread-local"))
+        )
+
+    def wrap(self, executor) -> WorkspaceExecutor:
+        return WorkspaceExecutor(executor, self.arena)
+
+
+class TraceExecutor(_DelegatingExecutor):
+    """Records one ``engine.apply`` span per apply on a tracer."""
+
+    def __init__(self, inner, tracer):
+        super().__init__(inner)
+        self.tracer = tracer
+
+    def apply(self, x, out=None, workspace=None):
+        with self.tracer.span("engine.apply",
+                              stack=self.inner.describe()) as span:
+            y = self.inner.apply(x, out=out, workspace=workspace)
+            span.set(rows=int(y.shape[0]))
+        return y
+
+    def apply_multi(self, X, out=None, workspace=None):
+        with self.tracer.span("engine.apply_multi",
+                              stack=self.inner.describe()) as span:
+            Y = self.inner.apply_multi(X, out=out, workspace=workspace)
+            span.set(rows=int(Y.shape[0]), rhs=int(Y.shape[1]))
+        return Y
+
+    def describe(self) -> str:
+        return f"trace -> {self.inner.describe()}"
+
+
+class TraceLayer:
+    """Wrap an executor so every apply records an engine span."""
+
+    name = "trace"
+
+    def __init__(self, tracer):
+        self.tracer = tracer
+
+    def wrap(self, executor) -> TraceExecutor:
+        return TraceExecutor(executor, self.tracer)
+
+
+def build_executor(csr: CSRMatrix, spec: ExecutorSpec | None = None, *,
+                   kernel: Kernel | None = None, data=None,
+                   tracer=None, workspace: Workspace | None = None):
+    """Assemble the executor stack described by ``spec``.
+
+    Parameters
+    ----------
+    csr
+        The matrix the stack executes.
+    spec
+        The declarative stack description (default: a bare serial
+        :class:`~repro.engine.executor.KernelExecutor`).
+    kernel
+        The planned kernel to run (default: the baseline CSR kernel).
+        An already-guarded kernel is not re-wrapped.
+    data
+        Optional preprocessed data for ``kernel`` (serial stacks only;
+        ignored — and rebuilt — when the guard wraps a fresh kernel or
+        a parallel layer re-chunks the matrix).
+    tracer
+        Tracer for the supervision layer's ``supervise`` spans and the
+        trace layer's ``engine.apply`` spans. Created automatically
+        when ``spec.trace`` is set and none is given.
+    workspace
+        Existing arena to inject (implies a workspace wrap even when
+        ``spec.workspace == "none"``), e.g. a plan-cache entry's warm
+        buffers.
+    """
+    if spec is None:
+        spec = ExecutorSpec()
+    if kernel is None:
+        from ..kernels.variants import baseline_kernel
+
+        kernel = baseline_kernel()
+    if spec.trace and tracer is None:
+        from ..pipeline.tracer import Tracer
+
+        tracer = Tracer()
+
+    if spec.guard:
+        guarded = GuardLayer().wrap(kernel)
+        if guarded is not kernel:
+            data = None  # preprocessed for the unguarded kernel
+            kernel = guarded
+
+    if spec.parallel is not None:
+        if spec.supervision is not None:
+            executor = SupervisionLayer(
+                spec.parallel, spec.supervision, tracer=tracer
+            ).lift(csr, kernel)
+        else:
+            executor = ParallelLayer(spec.parallel).lift(csr, kernel)
+    else:
+        executor = KernelExecutor(csr, kernel, data=data)
+
+    if spec.workspace != "none" or workspace is not None:
+        mode = spec.workspace if spec.workspace != "none" else "shared"
+        executor = WorkspaceLayer(mode=mode, arena=workspace).wrap(executor)
+
+    if spec.trace:
+        executor = TraceLayer(tracer).wrap(executor)
+    return executor

@@ -98,7 +98,7 @@ class ParallelExecutionError(ReproError, RuntimeError):
 
     ``failures`` carries one :class:`ChunkFailure` per affected chunk
     with partition/chunk attribution; the supervision layer
-    (:class:`~repro.parallel.supervisor.SupervisedSpMV`) catches this
+    (:class:`~repro.engine.supervision.SupervisedExecutor`) catches this
     type to drive its retry/degradation ladder.
     """
 

@@ -127,21 +127,32 @@ def bench_parallel(
     scale: float = 1.0,
     repeats: int = 3,
     matrices: list[tuple[str, CSRMatrix]] | None = None,
+    engine_spec=None,
 ) -> list[dict]:
     """Measure real threaded SpMV for every schedule policy.
 
     Each row is one (matrix, schedule, nthreads) cell executed on the
-    shared-memory pool (:class:`~repro.parallel.ParallelSpMV`): the
-    best-of-``repeats`` wall time, its GFLOP/s, the measured per-thread
-    CPU-time imbalance (work skew, robust to core oversubscription),
-    the wall-clock imbalance, and the speedup over the same schedule at
-    one thread. These are *measured* numbers, not cost-plane
-    predictions — the imbalance column is the observed analogue of the
-    model's P_IMB term.
+    shared-memory pool through an engine stack
+    (:func:`repro.engine.build_executor`): the best-of-``repeats`` wall
+    time, its GFLOP/s, the measured per-thread CPU-time imbalance
+    (work skew, robust to core oversubscription), the wall-clock
+    imbalance, and the speedup over the same schedule at one thread.
+    These are *measured* numbers, not cost-plane predictions — the
+    imbalance column is the observed analogue of the model's P_IMB
+    term.
+
+    ``engine_spec`` (an :class:`~repro.engine.ExecutorSpec`) layers
+    extra middleware — guard, supervision, a workspace arena — around
+    each measured cell; its ``parallel`` axis is overridden by the
+    (``schedule``, ``nthreads``) grid being swept.
     """
-    from ..parallel import ParallelSpMV
+    from dataclasses import replace
+
+    from ..engine import ExecutorSpec, build_executor
+    from ..parallel import ParallelConfig
     from ..sched import SCHEDULE_POLICIES
 
+    base_spec = engine_spec if engine_spec is not None else ExecutorSpec()
     if schedules is None:
         schedules = tuple(SCHEDULE_POLICIES)
     if matrices is None:
@@ -153,16 +164,29 @@ def bench_parallel(
         for schedule in schedules:
             base_wall = None
             for nthreads in threads:
-                op = ParallelSpMV(csr, nthreads=nthreads,
-                                  schedule=schedule)
+                spec = replace(
+                    base_spec,
+                    parallel=ParallelConfig(nthreads=nthreads,
+                                            schedule=schedule),
+                    trace=False,
+                )
+                op = build_executor(csr, spec)
                 out = np.empty(csr.nrows)
-                op.matvec(x, out=out)  # warm up pool + workspace
+                op.apply(x, out=out)  # warm up pool + workspace
                 best = None
                 for _ in range(max(1, repeats)):
-                    op.matvec(x, out=out)
+                    op.apply(x, out=out)
                     m = op.last_measurement
-                    if best is None or m.wall_seconds < best.wall_seconds:
+                    if m is not None and (
+                        best is None
+                        or m.wall_seconds < best.wall_seconds
+                    ):
                         best = m
+                if best is None:
+                    # Every repeat degraded to the serial fallback
+                    # (only possible with a supervised engine_spec
+                    # under fault injection); nothing to measure.
+                    continue
                 if base_wall is None:
                     base_wall = best.wall_seconds
                 rows.append({
@@ -187,6 +211,7 @@ def bench_kernels(
     kernels: list[tuple[str, object]] | None = None,
     threads: tuple[int, ...] = PARALLEL_THREADS,
     parallel_schedules: tuple[str, ...] | None = None,
+    engine_spec=None,
 ) -> dict:
     """Measure single-RHS vs batched GFLOP/s for every kernel variant.
 
@@ -269,9 +294,13 @@ def bench_kernels(
         "geomean_speedup": geometric_mean([r["speedup"] for r in rows]),
         "parallel": {
             "threads": [int(t) for t in threads],
+            "engine_spec": (
+                None if engine_spec is None else engine_spec.to_dict()
+            ),
             "rows": bench_parallel(
                 threads=threads, schedules=parallel_schedules,
                 repeats=repeats, matrices=matrices,
+                engine_spec=engine_spec,
             ),
         },
     }
@@ -287,17 +316,20 @@ def run(
     kernels: list[tuple[str, object]] | None = None,
     threads: tuple[int, ...] = PARALLEL_THREADS,
     parallel_schedules: tuple[str, ...] | None = None,
+    engine_spec=None,
 ) -> ExperimentTable:
     """Run the batched-throughput benchmark and render it as a table.
 
     ``out_path`` (default ``BENCH_kernels.json`` in the current
     directory) receives the machine-readable payload; pass ``None`` to
-    skip writing.
+    skip writing. ``engine_spec`` layers extra engine middleware around
+    the measured-parallel section (see :func:`bench_parallel`).
     """
     payload = bench_kernels(
         rhs=rhs, scale=scale, repeats=repeats,
         matrices=matrices, kernels=kernels,
         threads=threads, parallel_schedules=parallel_schedules,
+        engine_spec=engine_spec,
     )
     table = ExperimentTable(
         experiment_id="bench-batched",

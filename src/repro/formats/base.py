@@ -22,7 +22,37 @@ import numpy as np
 from ..errors import ValidationReport
 
 __all__ = ["SparseFormat", "check_out_buffer", "contiguous_operand",
-           "gather_index"]
+           "gather_index", "trust_out_buffer"]
+
+
+class _TrustedOut(np.ndarray):
+    """Marker view over an already-validated ``out=`` buffer.
+
+    The engine boundary (:mod:`repro.engine`) validates a caller-owned
+    output buffer exactly once with :func:`check_out_buffer` and then
+    passes a ``_TrustedOut`` *view* of it inward; every nested format
+    and kernel recognizes the marker and skips re-validation. Slices of
+    a trusted view stay trusted (NumPy preserves the subclass), which
+    is what lets the parallel plane hand disjoint per-chunk ``out``
+    slices to workers without one validation per chunk per apply.
+
+    The view shares memory with the original array — writes through it
+    land in the caller's buffer.
+    """
+
+    __slots__ = ()
+
+
+def trust_out_buffer(out: np.ndarray) -> np.ndarray:
+    """Mark an already-validated buffer as trusted for nested calls.
+
+    Only call this *after* :func:`check_out_buffer` accepted ``out``
+    (including the aliasing check against the operand): the returned
+    view short-circuits every downstream ``check_out_buffer``.
+    """
+    if isinstance(out, _TrustedOut):
+        return out
+    return out.view(_TrustedOut)
 
 
 def gather_index(indices: np.ndarray) -> np.ndarray:
@@ -69,7 +99,14 @@ def check_out_buffer(out: np.ndarray, shape: tuple, *,
     the result). The alias check uses :func:`numpy.may_share_memory`
     (cheap bounds test): disjoint slices of one base array are
     conservatively rejected.
+
+    A :func:`trust_out_buffer` view passes through unchecked: it was
+    already validated once at the engine boundary, and re-validating on
+    every nested format/kernel call (the old double-validation path)
+    only burned cycles in the hot loop.
     """
+    if isinstance(out, _TrustedOut):
+        return out
     if not isinstance(out, np.ndarray):
         raise TypeError(
             f"{name} must be a numpy.ndarray, got {type(out).__name__}"

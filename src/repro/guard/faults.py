@@ -26,7 +26,7 @@ shape), used to exercise the guarded-execution quarantine.
 first K chunk applies crash, hang (a bounded sleep), or poison their
 partition — deterministically, whichever pool worker picks the chunk
 up — so the supervision/degradation ladder of
-:class:`~repro.parallel.supervisor.SupervisedSpMV` is testable end to
+:class:`~repro.engine.supervision.SupervisedExecutor` is testable end to
 end (see docs/robustness.md).
 """
 
@@ -375,7 +375,7 @@ class ParallelFaultKernel(Kernel):
     """Deterministic worker-fault injector for the parallel plane.
 
     Wrap this *inside* a :class:`~repro.parallel.plane.ParallelKernel`
-    (or hand it to :class:`~repro.parallel.supervisor.SupervisedSpMV`)
+    (or hand it to :class:`~repro.engine.supervision.SupervisedExecutor`)
     and the first ``fail_applies`` chunk applies — counted globally
     across threads under a lock, so the injection is deterministic no
     matter which pool worker picks a chunk up — misbehave:

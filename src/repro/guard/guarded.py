@@ -1,215 +1,16 @@
-"""Guarded kernel execution: catch faults, quarantine, fall back.
+"""Compatibility shim: the guarded execution layer moved to the engine.
 
-:class:`GuardedKernel` wraps any :class:`~repro.kernels.base.Kernel`
-and turns three classes of runtime misbehavior into a recorded failure
-plus a transparent fallback to the reference CSR kernel:
-
-* the variant **raises** during ``preprocess`` / ``apply`` /
-  ``apply_multi``;
-* the variant returns output of the **wrong shape or dtype**;
-* the variant produces **non-finite output from finite input** (the
-  matrix values and the operand were finite, the result is not — a
-  kernel bug, not IEEE propagation).
-
-Failures are recorded per variant name in the kernel registry's
-quarantine store (:func:`repro.kernels.registry.record_kernel_failure`);
-once a variant reaches the quarantine threshold every guarded wrapper
-stops calling it and :class:`~repro.core.optimizer.AdaptiveSpMV`
-refuses to plan it. The fallback result is computed by
-``csr.matvec`` / ``csr.matmat`` on the original matrix — bit-identical
-to the baseline CSR kernel's numeric plane.
+The implementation now lives in :mod:`repro.engine.guard`, where it is
+the engine's :class:`~repro.engine.layers.GuardLayer` middleware (and
+the validation boundary for caller-owned ``out=`` buffers). This module
+re-exports the historical names so ``from repro.guard import
+GuardedKernel`` keeps working; new code should compose the guard
+through ``repro.engine.ExecutorSpec(guard=True)`` instead of wrapping
+kernels by hand.
 """
 
 from __future__ import annotations
 
-import inspect
+from ..engine.guard import GuardedData, GuardedKernel, _accepts_out
 
-import numpy as np
-
-from ..formats import CSRMatrix
-from ..formats.base import check_out_buffer
-from ..kernels.base import Kernel
-from ..kernels.registry import is_quarantined, record_kernel_failure
-from ..machine import KernelCost, MachineSpec
-from ..sched import Partition, make_partition
-
-__all__ = ["GuardedData", "GuardedKernel"]
-
-
-def _accepts_out(method) -> bool:
-    """True when ``method`` can take the ``out=``/``workspace=`` pair.
-
-    Guarded wrappers accept arbitrary inner kernels, including legacy
-    and test kernels whose ``apply(self, data, x)`` predates the
-    zero-allocation plane; those are called without the keywords and
-    their result is copied into ``out`` after validation.
-    """
-    try:
-        params = inspect.signature(method).parameters
-    except (TypeError, ValueError):  # builtins / exotic callables
-        return False
-    if any(p.kind is p.VAR_KEYWORD for p in params.values()):
-        return True
-    return "out" in params and "workspace" in params
-
-
-class GuardedData:
-    """Execution bundle of a guarded kernel: the wrapped variant's data
-    plus the original CSR kept for fallback."""
-
-    __slots__ = ("inner", "csr", "values_finite")
-
-    def __init__(self, inner, csr: CSRMatrix, values_finite: bool):
-        self.inner = inner          # None when preprocess failed/skipped
-        self.csr = csr
-        self.values_finite = values_finite
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        state = "fallback" if self.inner is None else "ok"
-        return f"<GuardedData {state} {self.csr!r}>"
-
-
-class GuardedKernel(Kernel):
-    """Wrap ``inner`` so its faults quarantine it instead of escaping.
-
-    The wrapper is name-transparent (``name`` / ``optimizations`` /
-    ``schedule`` delegate to the wrapped variant) so plans, caches and
-    reports see the variant they selected; only the failure behavior
-    changes.
-    """
-
-    def __init__(self, inner: Kernel, workspace=None):
-        if isinstance(inner, GuardedKernel):
-            inner = inner.inner
-        self.inner = inner
-        self.name = inner.name
-        self.optimizations = inner.optimizations
-        self.schedule = inner.schedule
-        self.row_align = getattr(inner, "row_align", 1)
-        #: faults caught by *this wrapper* (the registry aggregates per
-        #: variant name across wrappers); exported by pipeline tracers.
-        self.failure_events = 0
-        #: default :class:`~repro.memory.workspace.Workspace` arena used
-        #: when the caller does not pass one explicitly.
-        self.workspace = workspace
-        # Legacy/test kernels may predate the out=/workspace= plane;
-        # probe once at wrap time so apply() stays cheap.
-        self._apply_takes_out = _accepts_out(inner.apply)
-        self._multi_takes_out = _accepts_out(inner.apply_multi)
-
-    def _record(self, reason: str) -> None:
-        self.failure_events += 1
-        record_kernel_failure(self.inner.name, reason)
-
-    # -- preprocessing -------------------------------------------------
-
-    def preprocess(self, csr: CSRMatrix) -> GuardedData:
-        values_finite = bool(np.isfinite(csr.values).all())
-        if is_quarantined(self.inner.name):
-            return GuardedData(None, csr, values_finite)
-        try:
-            inner_data = self.inner.preprocess(csr)
-        except Exception as exc:
-            self._record(
-                f"preprocess raised {type(exc).__name__}: {exc}"
-            )
-            inner_data = None
-        return GuardedData(inner_data, csr, values_finite)
-
-    def preprocessing_seconds(self, csr: CSRMatrix,
-                              machine: MachineSpec) -> float:
-        if is_quarantined(self.inner.name):
-            return 0.0
-        return self.inner.preprocessing_seconds(csr, machine)
-
-    # -- numeric plane -------------------------------------------------
-
-    def apply(self, data: GuardedData, x: np.ndarray,
-              out: np.ndarray | None = None, workspace=None) -> np.ndarray:
-        workspace = workspace if workspace is not None else self.workspace
-        if out is not None:
-            out = check_out_buffer(out, (data.csr.nrows,), operand=x)
-        y = self._guarded(data, x, multi=False, out=out, workspace=workspace)
-        if y is None:
-            # The variant may have written garbage into a caller-owned
-            # out buffer before failing; the fallback recomputes fully.
-            return data.csr.matvec(x, out=out, workspace=workspace)
-        if out is not None and y is not out:
-            np.copyto(out, y)
-            return out
-        return y
-
-    def apply_multi(self, data: GuardedData, X: np.ndarray,
-                    out: np.ndarray | None = None,
-                    workspace=None) -> np.ndarray:
-        workspace = workspace if workspace is not None else self.workspace
-        if out is not None:
-            X = np.asarray(X)
-            out = check_out_buffer(out, (data.csr.nrows, X.shape[1]),
-                                   operand=X)
-        Y = self._guarded(data, X, multi=True, out=out, workspace=workspace)
-        if Y is None:
-            return data.csr.matmat(X, out=out, workspace=workspace)
-        if out is not None and Y is not out:
-            np.copyto(out, Y)
-            return out
-        return Y
-
-    def _guarded(self, data: GuardedData, x: np.ndarray,
-                 *, multi: bool, out: np.ndarray | None = None,
-                 workspace=None) -> np.ndarray | None:
-        """Run the wrapped variant; None means 'use the CSR fallback'."""
-        name = self.inner.name
-        if data.inner is None or is_quarantined(name):
-            return None
-        takes_out = self._multi_takes_out if multi else self._apply_takes_out
-        kwargs = {"out": out, "workspace": workspace} if takes_out else {}
-        try:
-            result = (
-                self.inner.apply_multi(data.inner, x, **kwargs)
-                if multi
-                else self.inner.apply(data.inner, x, **kwargs)
-            )
-        except Exception as exc:
-            self._record(f"apply raised {type(exc).__name__}: {exc}")
-            return None
-        expected = (
-            (data.csr.nrows, np.asarray(x).shape[1])
-            if multi
-            else (data.csr.nrows,)
-        )
-        if not isinstance(result, np.ndarray) or result.shape != expected:
-            got = getattr(result, "shape", type(result).__name__)
-            self._record(
-                f"apply returned shape {got}, expected {expected}"
-            )
-            return None
-        if (
-            data.values_finite
-            and bool(np.isfinite(x).all())
-            and not bool(np.isfinite(result).all())
-        ):
-            self._record(
-                "apply produced non-finite output from finite input"
-            )
-            return None
-        return result
-
-    # -- cost plane & scheduling --------------------------------------
-
-    def cost(self, data: GuardedData, machine: MachineSpec,
-             partition: Partition) -> KernelCost:
-        if data.inner is None or is_quarantined(self.inner.name):
-            from ..kernels.variants import baseline_kernel
-
-            base = baseline_kernel()
-            return base.cost(base.preprocess(data.csr), machine, partition)
-        return self.inner.cost(data.inner, machine, partition)
-
-    def partition(self, data: GuardedData, nthreads: int) -> Partition:
-        if data.inner is None or is_quarantined(self.inner.name):
-            return make_partition(data.csr, nthreads, "balanced-nnz")
-        return self.inner.partition(data.inner, nthreads)
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<GuardedKernel {self.inner!r}>"
+__all__ = ["GuardedData", "GuardedKernel", "_accepts_out"]

@@ -16,7 +16,7 @@ One arena is attached per reusable execution context: the plan-cache
 entry behind an :class:`~repro.core.optimizer.OptimizedSpMV` (repeat
 ``optimize()`` calls of one plan share one arena), a
 :class:`~repro.pipeline.runner.PipelineRunner`, and a
-:class:`~repro.guard.guarded.GuardedKernel`. The hit/miss/bytes-held
+:class:`~repro.engine.guard.GuardedKernel`. The hit/miss/bytes-held
 counters are exported into tracer spans (see docs/observability.md).
 
 Buffers are handed out *dirty* — callers must overwrite or zero them.

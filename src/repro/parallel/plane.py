@@ -40,7 +40,11 @@ import numpy as np
 
 from ..errors import ChunkFailure, ParallelExecutionError
 from ..formats import CSRMatrix
-from ..formats.base import check_out_buffer, contiguous_operand
+from ..formats.base import (
+    check_out_buffer,
+    contiguous_operand,
+    trust_out_buffer,
+)
 from ..kernels.base import Kernel
 from ..machine import KernelCost, MachineSpec
 from ..memory import Workspace
@@ -272,7 +276,7 @@ class ParallelKernel(Kernel):
     """Execute any wrapped :class:`~repro.kernels.base.Kernel` on a
     thread pool, one contiguous row block per task.
 
-    Composes with :class:`~repro.guard.guarded.GuardedKernel` in both
+    Composes with :class:`~repro.engine.guard.GuardedKernel` in both
     orders: ``GuardedKernel(ParallelKernel(k))`` guards the whole
     parallel apply (a worker exception propagates out and triggers the
     serial CSR fallback), while ``ParallelKernel(GuardedKernel(k))``
@@ -339,9 +343,13 @@ class ParallelKernel(Kernel):
         else:
             y = check_out_buffer(out, (data.nrows,), operand=x)
         x = contiguous_operand(x, workspace, "parallel.x")
-        return self._supervised(data, x, y, multi=False,
-                                caller_out=out is not None,
-                                deadline_seconds=deadline_seconds)
+        # Validate once here; each chunk's y[lo:hi] slice stays a
+        # trusted view, so the inner kernel skips re-validating the
+        # same buffer nthreads times per apply.
+        self._supervised(data, x, trust_out_buffer(y), multi=False,
+                         caller_out=out is not None,
+                         deadline_seconds=deadline_seconds)
+        return y
 
     def apply_multi(self, data: ParallelData, X: np.ndarray,
                     out: np.ndarray | None = None,
@@ -357,9 +365,10 @@ class ParallelKernel(Kernel):
             Y = np.empty((data.nrows, k), dtype=np.float64)
         else:
             Y = check_out_buffer(out, (data.nrows, k), operand=X)
-        return self._supervised(data, X, Y, multi=True,
-                                caller_out=out is not None,
-                                deadline_seconds=deadline_seconds)
+        self._supervised(data, X, trust_out_buffer(Y), multi=True,
+                         caller_out=out is not None,
+                         deadline_seconds=deadline_seconds)
+        return Y
 
     def _supervised(self, data: ParallelData, x: np.ndarray,
                     y: np.ndarray, *, multi: bool, caller_out: bool,
@@ -572,9 +581,9 @@ class ParallelSpMV:
 
             kernel = baseline_kernel()
         if guard:
-            from ..guard.guarded import GuardedKernel
+            from ..engine.layers import GuardLayer
 
-            kernel = GuardedKernel(kernel)
+            kernel = GuardLayer().wrap(kernel)
         self.csr = csr
         self.kernel = ParallelKernel(kernel, nthreads=nthreads,
                                      schedule=schedule,

@@ -39,6 +39,9 @@ class PipelineContext:
     #: charge its modeled cost (``plan``)?
     materialize: bool = True
     nthreads: int | None = None
+    #: the optimizer's :class:`~repro.engine.ExecutorSpec` — folded
+    #: into the built plan so a cached plan rebuilds the same stack.
+    spec: object | None = None
     tracer: Tracer = field(default_factory=Tracer)
 
     # -- produced by the stages ---------------------------------------
@@ -54,7 +57,7 @@ class PipelineContext:
     #: measured parallel run (:class:`~repro.parallel.plane.
     #: ParallelMeasurement`) when the execute stage ran on the real pool
     measured: object | None = None          # execute (nthreads= option)
-    #: supervision outcome (:class:`~repro.parallel.supervisor.
+    #: supervision outcome (:class:`~repro.engine.supervision.
     #: SupervisionReport`) of the measured parallel run — records the
     #: degradation ladder the execute stage walked, if any
     supervision: object | None = None       # execute (nthreads= option)
@@ -68,7 +71,7 @@ class PipelineContext:
                 "pipeline incomplete: classify and select must run "
                 "before a plan can be built"
             )
-        return OptimizationPlan(
+        plan = OptimizationPlan(
             classes=self.classes,
             optimizations=self.optimizations,
             kernel_name=self.kernel.name,
@@ -77,3 +80,8 @@ class PipelineContext:
             classifier_kind=self.classifier_kind,
             quarantined=self.quarantined,
         )
+        if self.spec is not None:
+            from dataclasses import replace
+
+            plan = replace(plan, executor_spec=self.spec)
+        return plan

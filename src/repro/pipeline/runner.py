@@ -127,7 +127,7 @@ class PipelineRunner:
         ParallelMeasurement` with per-thread wall and CPU times from the
         actual threaded run (``None`` when every repeat degraded to the
         serial fallback); ``supervision`` is the last repeat's
-        :class:`~repro.parallel.supervisor.SupervisionReport` — the
+        :class:`~repro.engine.supervision.SupervisionReport` — the
         degradation-ladder outcome under the optional
         ``deadline_seconds`` budget. One ``execute`` span carries all
         three, so traces show measured next to predicted imbalance and

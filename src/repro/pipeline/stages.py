@@ -120,9 +120,9 @@ class SelectStage:
             quarantined = (kernel.name,)
             kernel = baseline_kernel()
         if ctx.guard:
-            from ..guard.guarded import GuardedKernel
+            from ..engine.layers import GuardLayer
 
-            kernel = GuardedKernel(kernel)
+            kernel = GuardLayer().wrap(kernel)
         ctx.kernel = kernel
         ctx.quarantined = quarantined
         span.set(
@@ -160,8 +160,8 @@ class ExecuteStage:
     """Simulate one kernel execution on the target machine.
 
     With ``nthreads`` set, additionally *runs* the kernel on the real
-    shared-memory parallel plane — under supervision
-    (:class:`~repro.parallel.supervisor.SupervisedSpMV`), so a worker
+    shared-memory parallel plane — through an engine stack
+    (:func:`repro.engine.build_executor` with a supervision layer), so a worker
     fault or a breached ``deadline_seconds`` degrades through the
     retry/serial ladder instead of crashing the pipeline — and records
     the measured per-thread wall and CPU times next to the model's
@@ -203,22 +203,32 @@ class ExecuteStage:
         predicted imbalance at the *measured* thread count."""
         import numpy as np
 
-        from ..parallel import SupervisedSpMV
+        from ..engine import ExecutorSpec, SupervisionSpec, build_executor
+        from ..parallel import ParallelConfig
 
         schedule = self.schedule or getattr(
             ctx.kernel, "schedule", "balanced-nnz"
         )
-        sup = SupervisedSpMV(ctx.csr, ctx.kernel,
-                             nthreads=self.nthreads,
-                             schedule=schedule,
-                             chunk_rows=self.chunk_rows,
-                             deadline_seconds=self.deadline_seconds,
-                             max_retries=self.max_retries)
+        # No tracer here on purpose: the measurement's ladder outcome is
+        # folded into *this* execute span below, not its own spans.
+        sup = build_executor(
+            ctx.csr,
+            ExecutorSpec(
+                parallel=ParallelConfig(nthreads=self.nthreads,
+                                        schedule=schedule,
+                                        chunk_rows=self.chunk_rows),
+                supervision=SupervisionSpec(
+                    deadline_seconds=self.deadline_seconds,
+                    max_retries=self.max_retries,
+                ),
+            ),
+            kernel=ctx.kernel,
+        )
         x = np.ones(ctx.csr.ncols)
         best = None
         report = None
         for _ in range(self.repeats):
-            sup.matvec(x)
+            sup.apply(x)
             report = sup.last_report
             m = sup.last_measurement
             if m is not None and (

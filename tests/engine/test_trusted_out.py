@@ -1,0 +1,89 @@
+"""Single-boundary ``out=`` validation: trusted inward, strict at the rim.
+
+The engine validates a caller-owned buffer exactly once, then passes a
+trusted view to nested layers (guard fallback, parallel chunk slices,
+supervision retries). These tests prove the trust short-circuit did NOT
+weaken the boundary: every class of bad buffer is still rejected by
+every composed stack.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import ExecutorSpec, SupervisionSpec, build_executor
+from repro.formats.base import _TrustedOut, check_out_buffer, trust_out_buffer
+from repro.parallel import ParallelConfig
+
+STACKS = {
+    "guarded-serial": ExecutorSpec(guard=True),
+    "parallel": ExecutorSpec(parallel=ParallelConfig(nthreads=2)),
+    "full": ExecutorSpec(
+        guard=True,
+        parallel=ParallelConfig(nthreads=2),
+        supervision=SupervisionSpec(),
+        workspace="shared",
+    ),
+}
+
+
+@pytest.fixture(params=sorted(STACKS), ids=sorted(STACKS))
+def stack(request, small_random_csr):
+    return build_executor(small_random_csr, STACKS[request.param])
+
+
+def test_wrong_shape_rejected(stack, small_random_csr, x300):
+    with pytest.raises(ValueError, match="shape"):
+        stack.apply(x300, out=np.empty(small_random_csr.nrows + 1))
+
+
+def test_wrong_dtype_rejected(stack, small_random_csr, x300):
+    bad = np.empty(small_random_csr.nrows, dtype=np.float32)
+    with pytest.raises(TypeError, match="float64"):
+        stack.apply(x300, out=bad)
+
+
+def test_non_contiguous_rejected(stack, small_random_csr, x300):
+    bad = np.empty(2 * small_random_csr.nrows)[::2]
+    with pytest.raises(ValueError, match="contiguous"):
+        stack.apply(x300, out=bad)
+
+
+def test_aliasing_operand_rejected(stack, x300):
+    # out aliasing the operand would corrupt partial sums mid-apply
+    with pytest.raises(ValueError, match="share memory"):
+        stack.apply(x300, out=x300)
+
+
+def test_read_only_rejected(stack, small_random_csr, x300):
+    bad = np.empty(small_random_csr.nrows)
+    bad.flags.writeable = False
+    with pytest.raises(ValueError, match="writeable"):
+        stack.apply(x300, out=bad)
+
+
+def test_good_buffer_validated_once_then_trusted():
+    """check_out_buffer short-circuits on a trusted view, and slicing a
+    trusted view (how the parallel plane hands row chunks to workers)
+    preserves the trust marker — so inner layers skip re-validation."""
+    out = np.empty(8)
+    checked = check_out_buffer(out, (8,))
+    assert checked is out
+
+    trusted = trust_out_buffer(checked)
+    assert isinstance(trusted, _TrustedOut)
+    assert trusted.base is out
+    # short-circuit: returned as-is, no strictness re-applied
+    assert check_out_buffer(trusted, (8,)) is trusted
+    # chunk slices stay trusted views over the same memory
+    chunk = trusted[2:5]
+    assert isinstance(chunk, _TrustedOut)
+    assert np.shares_memory(chunk, out)
+
+
+def test_untrusted_buffers_never_short_circuit():
+    """A plain ndarray is always fully validated — trust is only ever
+    conferred by the engine after a successful check."""
+    out = np.empty(8)
+    assert not isinstance(out, _TrustedOut)
+    with pytest.raises(ValueError, match="shape"):
+        check_out_buffer(out, (9,))

@@ -144,6 +144,58 @@ print("fresh-process warm start ok")
     assert "fresh-process warm start ok" in proc.stdout
 
 
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_load_upgrades_legacy_plans_to_default_executor_spec():
+    """A schema-v2 cache file whose entries carry pre-engine v1 plans
+    (no ``executor_spec``) loads cleanly: every entry is kept and
+    upgraded to the default serial spec — not warn-and-dropped."""
+    import warnings
+
+    from repro.engine import ExecutorSpec
+
+    path = FIXTURES / "plan_cache_v2_legacy_plans.json"
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # any PlanCacheWarning fails
+        cache = PlanCache.load(path)
+    assert cache.load_recovery_reason is None
+    assert len(cache) == 2
+    for entry in cache._entries.values():
+        assert entry.plan.executor_spec == ExecutorSpec()
+        assert entry.kernel is not None
+
+
+def test_legacy_plan_cache_serves_warm_start(small_random_csr, tmp_path):
+    """End-to-end: a cache written by this build, rewritten to the
+    legacy v1 plan layout (as an old build would have saved it), still
+    warm-starts a fresh optimizer with a hit and identical numerics."""
+    from repro.core.optimizer import _body_checksum
+
+    cold = AdaptiveSpMV(KNL, classifier="profile")
+    op_cold = cold.optimize(small_random_csr)
+    path = tmp_path / "plans.json"
+    cold.plan_cache.save(path)
+
+    # Rewrite each plan to schema v1: drop the executor_spec field,
+    # exactly what a pre-engine build persisted.
+    payload = json.loads(path.read_text())
+    for item in payload["body"]["entries"]:
+        item["plan"]["schema_version"] = 1
+        del item["plan"]["executor_spec"]
+    payload["checksum"] = _body_checksum(payload["body"])
+    path.write_text(json.dumps(payload))
+
+    warm = AdaptiveSpMV(
+        KNL, classifier="profile", plan_cache=PlanCache.load(path)
+    )
+    op_warm = warm.optimize(small_random_csr)
+    assert op_warm.plan.cache_hit
+    assert op_warm.plan.decision_seconds == 0.0
+    x = np.random.default_rng(7).standard_normal(small_random_csr.ncols)
+    np.testing.assert_array_equal(op_warm.matvec(x), op_cold.matvec(x))
+
+
 def test_two_optimizers_share_one_loaded_cache_concurrently(
         small_random_csr, tmp_path):
     cold = AdaptiveSpMV(KNL, classifier="profile")
