@@ -1,6 +1,7 @@
 #!/bin/sh
 # Full local gate: lint + tier-1 tests + perf smoke + parallel smoke +
-# fault suite + watchdog smoke + engine permutation smoke.
+# fault suite + watchdog smoke + engine permutation smoke +
+# calibration smoke.
 #
 # One command that runs everything CI checks, in the order that fails
 # fastest: the lint gate (scripts/lint.sh: ruff, or a byte-compile
@@ -15,36 +16,51 @@
 # degraded within the deadline budget instead of blocking the caller,
 # and finally the composable-engine smoke: a permutation matrix through
 # the full guard+supervision stack on 2 threads (warnings as errors)
-# plus the CLI engine-spec round-trip check. Exit status is the first
-# failing stage's.
+# plus the CLI engine-spec round-trip check, then the calibration
+# smoke: `repro-spmv calibrate --quick` writes a host MachineProfile,
+# a CalibratedModel plan folds it into the cache key, and the pytest
+# smoke asserts execute spans carry predicted/measured Gflop/s and
+# model_error_pct with refine() shrinking the error. Exit status is
+# the first failing stage's.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "check: stage 1/7 lint"
+echo "check: stage 1/8 lint"
 sh scripts/lint.sh
 
-echo "check: stage 2/7 tier-1 tests"
+echo "check: stage 2/8 tier-1 tests"
 PYTHONPATH=src python -m pytest -x -q --ignore=tests/perf
 
-echo "check: stage 3/7 perf smoke"
+echo "check: stage 3/8 perf smoke"
 PYTHONPATH=src python -m pytest -x -q tests/perf
 
-echo "check: stage 4/7 measured-parallel smoke (nthreads=2)"
+echo "check: stage 4/8 measured-parallel smoke (nthreads=2)"
 PYTHONPATH=src python -m pytest -x -q -m perf_smoke tests/perf/test_parallel_smoke.py
 
-echo "check: stage 5/7 fault suite (warnings as errors)"
+echo "check: stage 5/8 fault suite (warnings as errors)"
 PYTHONPATH=src python -m pytest -x -q -W error::RuntimeWarning tests/faults
 
-echo "check: stage 6/7 hang-injection watchdog smoke"
+echo "check: stage 6/8 hang-injection watchdog smoke"
 PYTHONPATH=src python -m pytest -x -q -k watchdog tests/faults/test_parallel_faults.py
 
-echo "check: stage 7/7 engine permutation smoke (guard+supervision, 2 threads)"
+echo "check: stage 7/8 engine permutation smoke (guard+supervision, 2 threads)"
 PYTHONPATH=src python -m pytest -x -q -W error::RuntimeWarning \
     -k permutation_smoke_guard_supervision_two_threads \
     tests/engine/test_permutations.py
 PYTHONPATH=src python -m repro.cli plan smallfem --explain \
     | grep -q "engine-spec round-trip: ok" \
     || { echo "check: engine-spec round-trip FAILED" >&2; exit 1; }
+
+echo "check: stage 8/8 calibration smoke (quick profile + calibrated plan)"
+calib_tmp="$(mktemp -d)"
+trap 'rm -rf "$calib_tmp"' EXIT
+PYTHONPATH=src python -m repro.cli calibrate --quick \
+    -o "$calib_tmp/profile.json"
+PYTHONPATH=src python -m repro.cli plan smallfem \
+    --profile "$calib_tmp/profile.json" \
+    | grep -q "cost_model=calibrated:" \
+    || { echo "check: calibrated plan FAILED" >&2; exit 1; }
+PYTHONPATH=src python -m pytest -x -q tests/model/test_calibration_smoke.py
 
 echo "check: all stages passed"

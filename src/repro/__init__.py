@@ -60,6 +60,15 @@ from .machine import (
     RunResult,
     get_platform,
 )
+from .model import (
+    AnalyticModel,
+    CalibratedModel,
+    CostModel,
+    MachineProfile,
+    Prediction,
+    calibrate,
+    prediction_error_pct,
+)
 from .matrices import (
     extract_features,
     load_suite,
@@ -127,6 +136,14 @@ __all__ = [
     "SpMVConfig",
     "ConfiguredSpMV",
     "baseline_kernel",
+    # model
+    "CostModel",
+    "Prediction",
+    "AnalyticModel",
+    "CalibratedModel",
+    "MachineProfile",
+    "calibrate",
+    "prediction_error_pct",
     # core
     "Bottleneck",
     "format_classes",

@@ -24,7 +24,8 @@ from dataclasses import dataclass
 
 from ..formats import CSRMatrix
 from ..kernels import ConfiguredSpMV, SpMVConfig, pass_seconds
-from ..machine import ExecutionEngine, MachineSpec, RunResult
+from ..machine import MachineSpec, RunResult
+from ..model import AnalyticModel
 
 __all__ = ["InspectorExecutor", "InspectorExecutorResult"]
 
@@ -64,7 +65,7 @@ class InspectorExecutor:
                 "(as in the paper)"
             )
         self.machine = machine
-        self.engine = ExecutionEngine(machine, nthreads)
+        self.model = AnalyticModel(machine, nthreads)
 
     def optimize(self, csr: CSRMatrix) -> InspectorExecutorResult:
         """Inspect ``csr``, trial-run candidates, return the best."""
@@ -77,7 +78,7 @@ class InspectorExecutor:
         best_cfg: SpMVConfig | None = None
         for cfg in _CANDIDATES:
             kernel = ConfiguredSpMV(cfg)
-            result = self.engine.run(kernel, kernel.preprocess(csr))
+            result = self.model.run(kernel, kernel.preprocess(csr))
             t_pre += _TRIAL_RUNS * result.seconds
             t_pre += kernel.preprocessing_seconds(csr, self.machine)
             if best is None or result.gflops > best.gflops:

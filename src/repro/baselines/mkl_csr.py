@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from ..formats import CSRMatrix
 from ..kernels import ConfiguredSpMV, SpMVConfig
-from ..machine import ExecutionEngine, MachineSpec, RunResult
+from ..machine import MachineSpec, RunResult
+from ..model import AnalyticModel
 
 __all__ = ["mkl_csr_kernel", "run_mkl_csr"]
 
@@ -30,5 +31,5 @@ def run_mkl_csr(csr: CSRMatrix, machine: MachineSpec,
                 nthreads: int | None = None) -> RunResult:
     """Simulate one MKL-CSR execution."""
     kernel = mkl_csr_kernel()
-    engine = ExecutionEngine(machine, nthreads)
-    return engine.run(kernel, kernel.preprocess(csr))
+    model = AnalyticModel(machine, nthreads)
+    return model.run(kernel, kernel.preprocess(csr))

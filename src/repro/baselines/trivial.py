@@ -17,7 +17,8 @@ from ..kernels import (
     pairwise_optimization_kernels,
     single_optimization_kernels,
 )
-from ..machine import ExecutionEngine, MachineSpec, RunResult
+from ..machine import MachineSpec, RunResult
+from ..model import AnalyticModel
 
 __all__ = ["TrivialResult", "TrivialOptimizer"]
 
@@ -48,7 +49,7 @@ class TrivialOptimizer:
             raise ValueError(f"mode must be 'single' or 'combined', got {mode!r}")
         self.machine = machine
         self.mode = mode
-        self.engine = ExecutionEngine(machine, nthreads)
+        self.model = AnalyticModel(machine, nthreads)
 
     def candidates(self):
         if self.mode == "single":
@@ -65,7 +66,7 @@ class TrivialOptimizer:
         kernels = self.candidates()
         for name, kernel in kernels.items():
             t_pre += kernel.preprocessing_seconds(csr, self.machine)
-            result = self.engine.run(kernel, kernel.preprocess(csr))
+            result = self.model.run(kernel, kernel.preprocess(csr))
             t_pre += _BENCH_ITERATIONS * result.seconds
             if best is None or result.gflops > best.gflops:
                 best, best_name = result, name

@@ -11,6 +11,8 @@
     repro-spmv run NAME --engine-spec guard,threads=2,supervise
     repro-spmv bench --rhs 32             # single vs batched GFLOP/s
     repro-spmv parallel NAME --threads 1,2,4,8   # measured imbalance
+    repro-spmv calibrate --quick -o profile.json # host MachineProfile
+    repro-spmv model NAME --explain       # Table I/II bound breakdown
     repro-spmv experiment fig7-knl --scale 0.5
     repro-spmv experiments                # list experiment ids
 """
@@ -156,6 +158,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "(created by --save-cache) when it exists")
     p_plan.add_argument("--save-cache", default=None, metavar="PATH",
                         help="persist the plan cache after planning")
+    p_plan.add_argument("--profile", default=None, metavar="PATH",
+                        help="plan through a CalibratedModel built from "
+                        "this machine profile (see 'calibrate'); the "
+                        "profile digest folds into the plan-cache key")
 
     p_trace = sub.add_parser(
         "trace",
@@ -232,6 +238,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help=_ENGINE_SPEC_HELP + "; layered around the "
                          "measured-parallel cells (threads/schedule come "
                          "from the sweep grid)")
+    p_bench.add_argument("--profile", default=None, metavar="PATH",
+                         help="predict the v4 model columns through a "
+                         "CalibratedModel built from this machine "
+                         "profile (see 'calibrate')")
+    p_bench.add_argument("--platform", default="knl",
+                         choices=sorted(PLATFORMS),
+                         help="simulated platform the model columns "
+                         "predict against")
 
     p_par = sub.add_parser(
         "parallel",
@@ -251,10 +265,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="timing repetitions (best wall is kept)")
     p_par.add_argument("--guard", action="store_true",
                        help="compose the guard wrapper under the pool")
-    p_par.add_argument("--deadline-ms", type=float, default=None,
-                       help="per-apply deadline budget in milliseconds; "
-                       "a breached run degrades through the supervision "
-                       "ladder instead of blocking")
+    p_par.add_argument("--deadline-ms", default=None,
+                       help="per-apply deadline budget in milliseconds, "
+                       "or 'auto' to derive it from the cost model's "
+                       "prediction; a breached run degrades through the "
+                       "supervision ladder instead of blocking")
     p_par.add_argument("--max-retries", type=int, default=2,
                        help="reduced-width retries before the serial "
                        "fallback (default 2)")
@@ -262,6 +277,50 @@ def build_parser() -> argparse.ArgumentParser:
                        help=_ENGINE_SPEC_HELP + "; guard/supervision "
                        "axes compose with the sweep (threads/schedule "
                        "come from --threads/--schedule)")
+    p_par.add_argument("--profile", default=None, metavar="PATH",
+                       help="predict through a CalibratedModel built "
+                       "from this machine profile (see 'calibrate')")
+
+    p_cal = sub.add_parser(
+        "calibrate",
+        help="measure a host MachineProfile (STREAM bandwidth, gather "
+        "latency, per-kernel microbenchmarks) for a simulated platform",
+    )
+    p_cal.add_argument("--platform", default="knl",
+                       choices=sorted(PLATFORMS))
+    p_cal.add_argument("--quick", action="store_true",
+                       help="one matrix, two kernels, fewer repeats "
+                       "(the CI smoke configuration)")
+    p_cal.add_argument("--threads", type=int, default=None,
+                       help="model thread count the analytic side "
+                       "predicts at (default: machine total)")
+    p_cal.add_argument("--repeats", type=int, default=None,
+                       help="timing repetitions per microbenchmark "
+                       "(default 3 quick / 7 full)")
+    p_cal.add_argument("-o", "--output", default=None, metavar="PATH",
+                       help="profile JSON path (default "
+                       "profile_<platform>.json; '-' to skip writing)")
+
+    p_model = sub.add_parser(
+        "model",
+        help="print the cost model's bound-and-bottleneck breakdown "
+        "for one matrix (paper Tables I/II)",
+    )
+    p_model.add_argument("matrix",
+                         help="suite matrix name or MatrixMarket file path")
+    p_model.add_argument("--platform", default="knl",
+                         choices=sorted(PLATFORMS))
+    p_model.add_argument("--scale", type=float, default=1.0)
+    p_model.add_argument("--threads", type=int, default=None,
+                         help="thread count predictions run at "
+                         "(default: machine total)")
+    p_model.add_argument("--profile", default=None, metavar="PATH",
+                         help="use a CalibratedModel built from this "
+                         "machine profile (see 'calibrate')")
+    p_model.add_argument("--explain", action="store_true",
+                         help="additionally decompose each pool kernel "
+                         "variant into its first-order time terms and "
+                         "rank schedule policies")
 
     sub.add_parser("experiments", help="list experiment ids")
 
@@ -277,6 +336,21 @@ def _load_matrix(ref: str, scale: float):
     if ref in suite_names():
         return named_matrix(ref, scale=scale)
     return read_matrix_market(ref)
+
+
+def _load_model(machine, profile_path, nthreads=None):
+    """The cost model a ``--profile`` flag selects.
+
+    ``None`` path → the default analytic model (returned as ``None`` so
+    callers keep their legacy defaults); otherwise a
+    :class:`~repro.model.CalibratedModel` over the loaded profile.
+    """
+    if profile_path is None:
+        return None
+    from .model import CalibratedModel, MachineProfile
+
+    profile = MachineProfile.load(profile_path)
+    return CalibratedModel(machine, profile, nthreads)
 
 
 def _cmd_suite(args) -> int:
@@ -347,12 +421,17 @@ def _cmd_plan(args) -> int:
     if args.cache and os.path.exists(args.cache):
         cache = PlanCache.load(args.cache)
         print(f"loaded plan cache {args.cache} ({len(cache)} entries)")
+    try:
+        model = _load_model(machine, args.profile)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     optimizer = AdaptiveSpMV(machine, classifier="profile",
-                             plan_cache=cache)
+                             plan_cache=cache, model=model)
     tracer = Tracer()
     plan = optimizer.plan(csr, tracer=tracer)
     print(f"plan: {plan}")
-    print(f"cache_hit={plan.cache_hit}")
+    print(f"cache_hit={plan.cache_hit} cost_model={plan.cost_model}")
     if args.explain:
         rows = [
             (s.name, float(1e3 * s.charged_seconds),
@@ -502,10 +581,17 @@ def _cmd_bench(args) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    machine = get_platform(args.platform)
+    try:
+        model = _load_model(machine, args.profile)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     out = None if args.output == "-" else args.output
     table = bench_batched.run(
         rhs=args.rhs, scale=args.scale, repeats=args.repeats,
         out_path=out, threads=threads, engine_spec=engine_spec,
+        model=model,
     )
     print(table.to_text())
     return 0
@@ -545,9 +631,17 @@ def _cmd_parallel(args) -> int:
         from .engine import GuardLayer
 
         kernel = GuardLayer().wrap(kernel)
-    deadline_seconds = (
-        None if args.deadline_ms is None else args.deadline_ms / 1e3
-    )
+    if args.deadline_ms is None:
+        deadline_seconds = None
+    elif args.deadline_ms == "auto":
+        deadline_seconds = "auto"
+    else:
+        try:
+            deadline_seconds = float(args.deadline_ms) / 1e3
+        except ValueError:
+            print(f"error: --deadline-ms must be a number or 'auto', "
+                  f"got {args.deadline_ms!r}", file=sys.stderr)
+            return 2
     max_retries = args.max_retries
     if spec is not None and spec.supervision is not None:
         # Explicit flags win; the spec fills whatever was left default.
@@ -555,7 +649,12 @@ def _cmd_parallel(args) -> int:
             deadline_seconds = spec.supervision.deadline_seconds
         if max_retries == 2:
             max_retries = spec.supervision.max_retries
-    runner = PipelineRunner(machine)
+    try:
+        model = _load_model(machine, args.profile)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    runner = PipelineRunner(machine, model=model)
     rows = []
     ladders = []
     for schedule in schedules:
@@ -586,6 +685,8 @@ def _cmd_parallel(args) -> int:
     print(f"{csr.nrows}x{csr.ncols} nnz={csr.nnz} on "
           f"{machine.codename}; measured on this host, best of "
           f"{args.repeats}")
+    if model is not None:
+        print(f"cost model: {model.signature()}")
     print(render_table(
         ("schedule", "threads", "wall (ms)", "imb (cpu)",
          "imb (wall)", "imb (model)"), rows
@@ -606,6 +707,100 @@ def _cmd_parallel(args) -> int:
     elif deadline_seconds is not None or max_retries != 2:
         print("degradation ladder: no demotions (every run completed "
               "at the requested width)")
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    from .model import calibrate
+
+    machine = get_platform(args.platform)
+    mode = "quick" if args.quick else "full"
+    print(f"calibrating {machine.codename} on this host ({mode})...")
+    profile = calibrate(machine, quick=args.quick,
+                        nthreads=args.threads, repeats=args.repeats)
+    m = profile.measured
+    print(f"host:              {profile.host}")
+    print(f"stream bandwidth:  {m['stream_bandwidth_gbs']:.2f} GB/s "
+          f"(scale {profile.bandwidth_scale:.3g} vs simulated "
+          f"{machine.codename})")
+    print(f"gather latency:    {m['gather_latency_ns']:.2f} ns/elem")
+    print("kernel scales (measured / predicted wall time):")
+    for name, scale in sorted(profile.kernel_scales.items()):
+        print(f"  {name:24s} {scale:.4g}")
+    par = m.get("parallel")
+    if par:
+        print(f"parallel plane:    t{par['nthreads']} on "
+              f"{par['matrix']}: ratio {par['ratio']:.4g}")
+    print(f"calibration took   {m['calibration_seconds']:.2f} s "
+          f"({profile.samples} cells)")
+    print(f"signature:         {profile.signature()}")
+    output = args.output
+    if output is None:
+        output = f"profile_{args.platform}.json"
+    if output != "-":
+        profile.save(output)
+        print(f"saved {output}")
+    return 0
+
+
+def _cmd_model(args) -> int:
+    from .experiments.common import render_table
+    from .model import AnalyticModel
+
+    machine = get_platform(args.platform)
+    csr = _load_matrix(args.matrix, args.scale)
+    try:
+        model = _load_model(machine, args.profile, args.threads)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if model is None:
+        model = AnalyticModel(machine, args.threads)
+    bounds = model.bounds(csr)
+    classes = classify_from_bounds(bounds)
+    print(f"{args.matrix}: {csr.nrows}x{csr.ncols} nnz={csr.nnz} on "
+          f"{machine.codename} (cost model: {model.signature()})")
+    rows = [
+        (name, float(gflops), float(gflops / bounds.p_csr))
+        for name, gflops in bounds.as_dict().items()
+    ]
+    print(render_table(("bound", "Gflop/s", "x of P_CSR"), rows))
+    print(f"classes: {format_classes(classes)}")
+    if not args.explain:
+        return 0
+
+    # Per-variant decomposition: which first-order term of the overlap
+    # model bounds each pool kernel's makespan (Table II companion).
+    from .kernels import baseline_kernel, merged_pool_kernel
+    from .sched import rank_policies
+
+    kernels = [baseline_kernel()]
+    for name in ("compression", "prefetching", "unrolling", "auto-sched"):
+        kernels.append(merged_pool_kernel((name,)))
+    rows = []
+    for kernel in kernels:
+        pred = model.predict(kernel, kernel.preprocess(csr),
+                             nthreads=args.threads)
+        d = pred.decomposition
+        rows.append((
+            kernel.name, float(pred.gflops),
+            float(1e3 * d.get("compute_s", 0.0)),
+            float(1e3 * d.get("bandwidth_s", 0.0)),
+            float(1e3 * d.get("latency_s", 0.0)),
+            float(pred.imbalance),
+            pred.dominant_term().replace("_s", ""),
+        ))
+    print()
+    print(render_table(
+        ("kernel", "Gflop/s", "compute (ms)", "bandwidth (ms)",
+         "latency (ms)", "imbalance", "bound by"), rows
+    ))
+    nthreads = args.threads or machine.total_threads
+    ranked = rank_policies(csr, model, nthreads)
+    order = ", ".join(
+        f"{name} ({pred.gflops:.2f})" for name, pred in ranked
+    )
+    print(f"schedule ranking at t{nthreads} (Gflop/s): {order}")
     return 0
 
 
@@ -713,6 +908,8 @@ def main(argv: list[str] | None = None) -> int:
         "validate": _cmd_validate,
         "bench": _cmd_bench,
         "parallel": _cmd_parallel,
+        "calibrate": _cmd_calibrate,
+        "model": _cmd_model,
         "train": _cmd_train,
         "export-suite": _cmd_export_suite,
         "experiments": _cmd_experiments,

@@ -22,7 +22,8 @@ import numpy as np
 
 from ..baselines import InspectorExecutor, TrivialOptimizer, mkl_csr_kernel
 from ..formats import CSRMatrix
-from ..machine import ExecutionEngine, MachineSpec
+from ..machine import MachineSpec
+from ..model import AnalyticModel
 from .feature_classifier import FeatureGuidedClassifier
 from .optimizer import AdaptiveSpMV
 
@@ -92,7 +93,7 @@ def amortization_study(
     matrices = list(matrices)
     if not matrices:
         raise ValueError("matrix suite is empty")
-    engine = ExecutionEngine(machine, nthreads)
+    model = AnalyticModel(machine, nthreads)
     mkl = mkl_csr_kernel()
     if include_inspector_executor is None:
         include_inspector_executor = machine.codename != "knc"
@@ -114,7 +115,7 @@ def amortization_study(
     )
 
     for name, csr in matrices:
-        t_mkl = engine.run(mkl, mkl.preprocess(csr)).seconds
+        t_mkl = model.run(mkl, mkl.preprocess(csr)).seconds
 
         for mode in ("single", "combined"):
             trivial = TrivialOptimizer(machine, mode=mode, nthreads=nthreads)

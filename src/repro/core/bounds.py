@@ -1,123 +1,48 @@
-"""Per-class performance bounds (paper Section III-B).
+"""Per-class performance bounds (paper Section III-B) — compat surface.
 
-For every bottleneck class, an upper bound on CSR SpMV performance is
-derived by *removing* the corresponding bottleneck:
-
-* ``P_MB``   — analytic: minimum traffic at maximum sustainable
-  bandwidth, ``2*NNZ / ((M_A_csr,min + M_xy,min) / B_max)``;
-* ``P_ML``   — operational: the regularized-colind micro-kernel
-  (irregular x accesses made regular);
-* ``P_IMB``  — from the baseline run's *median* per-thread time
-  (median, not mean, to discount outliers);
-* ``P_CMP``  — operational: the unit-stride micro-kernel (indirection
-  removed entirely) — a very loose bound;
-* ``P_peak`` — format-independent: only the values array must move
-  (all indexing compressed away).
-
-Only ``P_ML`` and ``P_CMP`` need micro-benchmarks at runtime; ``P_MB``
-and ``P_peak`` need just ``B_max``, and ``P_IMB`` falls out of the
-baseline run — which is exactly the paper's accounting of profiling
-cost, reproduced by :func:`profiling_seconds`.
+The bound derivation itself lives on the cost-model protocol now
+(:meth:`repro.model.AnalyticModel.bounds` /
+:meth:`repro.model.CalibratedModel.bounds`); this module keeps the
+long-standing ``measure_bounds(csr, machine)`` entry point and re-exports
+:class:`~repro.model.base.PerformanceBounds` and
+:func:`~repro.model.base.profiling_seconds` so existing imports keep
+working. New code should take a :class:`~repro.model.base.CostModel`
+and call ``model.bounds(csr)`` directly — that is what lets a
+calibrated model reshape the classification thresholds' inputs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from ..formats import CSRMatrix
-from ..machine import ExecutionEngine, MachineSpec, RunResult
-from ..kernels import RegularizedColindSpMV, UnitStrideSpMV, baseline_kernel
+from ..machine import MachineSpec
+from ..model import (
+    PROFILING_ITERATIONS,
+    AnalyticModel,
+    PerformanceBounds,
+    profiling_seconds,
+)
 
-__all__ = ["PerformanceBounds", "measure_bounds", "profiling_seconds"]
-
-#: The paper times 64 SpMV iterations per micro-benchmark "to get valid
-#: timing measurements" (Section IV-D).
-PROFILING_ITERATIONS = 64
-
-
-@dataclass(frozen=True)
-class PerformanceBounds:
-    """Baseline performance and per-class upper bounds (Gflop/s)."""
-
-    p_csr: float
-    p_mb: float
-    p_ml: float
-    p_imb: float
-    p_cmp: float
-    p_peak: float
-    baseline: RunResult
-    machine_codename: str
-
-    def as_dict(self) -> dict[str, float]:
-        return {
-            "P_CSR": self.p_csr,
-            "P_MB": self.p_mb,
-            "P_ML": self.p_ml,
-            "P_IMB": self.p_imb,
-            "P_CMP": self.p_cmp,
-            "P_peak": self.p_peak,
-        }
-
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
-        vals = " ".join(f"{k}={v:.2f}" for k, v in self.as_dict().items())
-        return f"<bounds [{self.machine_codename}] {vals} Gflop/s>"
+__all__ = [
+    "PerformanceBounds",
+    "measure_bounds",
+    "profiling_seconds",
+    "PROFILING_ITERATIONS",
+]
 
 
 def measure_bounds(
     csr: CSRMatrix,
     machine: MachineSpec,
     nthreads: int | None = None,
+    *,
+    model=None,
 ) -> PerformanceBounds:
-    """Run the bound-and-bottleneck analysis for ``csr`` on ``machine``."""
-    if csr.nnz == 0:
-        raise ValueError("cannot analyze an empty matrix")
-    engine = ExecutionEngine(machine, nthreads)
-    flops = 2.0 * csr.nnz
+    """Run the bound-and-bottleneck analysis for ``csr`` on ``machine``.
 
-    base = baseline_kernel()
-    r_csr = engine.run(base, base.preprocess(csr))
-
-    # Analytic bounds: compulsory traffic at peak sustainable bandwidth.
-    m_xy = 8.0 * (csr.ncols + csr.nrows)
-    ws = csr.total_nbytes() + m_xy
-    bw = machine.bandwidth_for_working_set(ws)
-    p_mb = flops / ((csr.total_nbytes() + m_xy) / bw) / 1e9
-    p_peak = flops / ((csr.value_nbytes() + m_xy) / bw) / 1e9
-
-    # Operational bounds: modified micro-kernels through the same engine.
-    r_ml = engine.run(RegularizedColindSpMV(), csr)
-    r_cmp = engine.run(UnitStrideSpMV(), csr)
-
-    # Imbalance bound: median thread busy time of the baseline run,
-    # plus the same launch overhead every run pays.
-    t_median = (
-        r_csr.median_thread_seconds
-        + machine.parallel_overhead_seconds(r_csr.nthreads)
-    )
-    p_imb = flops / t_median / 1e9
-
-    return PerformanceBounds(
-        p_csr=r_csr.gflops,
-        p_mb=p_mb,
-        p_ml=r_ml.gflops,
-        p_imb=p_imb,
-        p_cmp=r_cmp.gflops,
-        p_peak=p_peak,
-        baseline=r_csr,
-        machine_codename=machine.codename,
-    )
-
-
-def profiling_seconds(bounds: PerformanceBounds, csr: CSRMatrix,
-                      iterations: int = PROFILING_ITERATIONS) -> float:
-    """Online profiling cost of the profile-guided classifier.
-
-    Three kernels are timed on the target matrix (baseline, P_ML and
-    P_CMP micro-kernels), ``iterations`` runs each; ``P_MB``/``P_peak``
-    are analytic and ``P_IMB`` is a by-product of the baseline run.
+    ``model`` overrides the default :class:`~repro.model.AnalyticModel`
+    (e.g. with a calibrated one); ``machine``/``nthreads`` are ignored
+    when it is given.
     """
-    flops = 2.0 * csr.nnz
-    per_iter = sum(
-        flops / (p * 1e9) for p in (bounds.p_csr, bounds.p_ml, bounds.p_cmp)
-    )
-    return iterations * per_iter
+    if model is None:
+        model = AnalyticModel(machine, nthreads)
+    return model.bounds(csr)

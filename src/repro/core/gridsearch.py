@@ -22,7 +22,8 @@ from typing import Sequence
 import numpy as np
 
 from ..formats import CSRMatrix
-from ..machine import ExecutionEngine, MachineSpec
+from ..machine import MachineSpec
+from ..model import AnalyticModel
 from ..matrices.features import extract_features
 from .bounds import PerformanceBounds, measure_bounds
 from .pool import OptimizationPool
@@ -70,7 +71,7 @@ def tune_profile_thresholds(
     if not matrices:
         raise ValueError("corpus is empty")
     pool = pool or OptimizationPool()
-    engine = ExecutionEngine(machine, nthreads)
+    model = AnalyticModel(machine, nthreads)
 
     bounds: list[PerformanceBounds] = [
         measure_bounds(m, machine, nthreads) for m in matrices
@@ -93,7 +94,7 @@ def tune_profile_thresholds(
             from ..kernels import merged_pool_kernel
 
             kernel = merged_pool_kernel(opts)
-            result = engine.run(kernel, kernel.preprocess(matrices[i]))
+            result = model.run(kernel, kernel.preprocess(matrices[i]))
             memo[key] = result.gflops / base_gflops[i]
         return memo[key]
 

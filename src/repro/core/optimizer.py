@@ -24,7 +24,6 @@ cost, visible in ``OptimizationPlan.decision_seconds``.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import threading
@@ -43,8 +42,14 @@ from ..kernels import (
     is_quarantined,
     merged_pool_kernel,
 )
-from ..machine import ExecutionEngine, MachineSpec, RunResult
+from ..machine import MachineSpec, RunResult
 from ..memory import Workspace
+from ..model import AnalyticModel
+from ..model.signature import (
+    body_checksum as _body_checksum,
+    matrix_fingerprint,
+    values_digest as _values_digest,
+)
 from ..pipeline import (
     PipelineContext,
     Tracer,
@@ -69,11 +74,14 @@ __all__ = [
     "reset_plan_cache_load_recoveries",
 ]
 
-#: Version of the serialized :class:`OptimizationPlan` IR. v2 adds the
-#: ``executor_spec`` field (:class:`~repro.engine.ExecutorSpec`);
-#: :meth:`OptimizationPlan.from_dict` still reads v1 payloads, upgrading
-#: them to the default (serial, unguarded) spec.
-PLAN_SCHEMA_VERSION = 2
+#: Version of the serialized :class:`OptimizationPlan` IR. v2 added the
+#: ``executor_spec`` field (:class:`~repro.engine.ExecutorSpec`); v3
+#: adds ``cost_model`` (which :class:`~repro.model.base.CostModel`
+#: signature the decision was made under).
+#: :meth:`OptimizationPlan.from_dict` still reads v1 and v2 payloads,
+#: upgrading them to the default serial spec / analytic model — exactly
+#: how those plans were decided — so old persisted caches stay loadable.
+PLAN_SCHEMA_VERSION = 3
 
 #: Version of the :meth:`PlanCache.save` file layout. v2 wraps the v1
 #: payload in a ``{"checksum", "body"}`` envelope and is written
@@ -106,55 +114,11 @@ def _count_load_recovery() -> None:
         _load_recoveries += 1
 
 
-def _canonical_body(body: dict) -> bytes:
-    """Canonical byte serialization the cache checksum covers.
-
-    ``sort_keys`` + minimal separators make the digest independent of
-    the pretty-printing of the envelope; Python's float repr round-trips
-    through JSON exactly, so a parsed body re-canonicalizes to the same
-    bytes the writer hashed.
-    """
-    return json.dumps(body, sort_keys=True,
-                      separators=(",", ":")).encode("utf-8")
-
-
-def _body_checksum(body: dict) -> str:
-    return hashlib.blake2b(_canonical_body(body),
-                           digest_size=16).hexdigest()
-
-
-def matrix_fingerprint(csr: CSRMatrix) -> str:
-    """Cheap structural fingerprint of a CSR matrix.
-
-    Hashes shape, nnz and the ``rowptr``/``colind`` arrays (one linear
-    pass, no numeric work) — two matrices with the same fingerprint
-    have identical sparsity structure, which is all the classifiers and
-    format conversions depend on. Each index array is digested together
-    with its dtype string (``arr.dtype.str``, which encodes width *and*
-    endianness), so an int32 and an int64 array with coincidentally
-    equal bytes cannot alias and fingerprints are stable enough to key
-    on-disk plans. Values are digested separately (see
-    :class:`PlanCache`) so a matrix whose coefficients changed but
-    whose structure did not can still reuse its plan.
-    """
-    h = hashlib.blake2b(digest_size=16)
-    h.update(
-        np.array([csr.shape[0], csr.shape[1], csr.nnz],
-                 dtype=np.int64).tobytes()
-    )
-    for arr in (csr.rowptr, csr.colind):
-        a = np.ascontiguousarray(arr)
-        h.update(a.dtype.str.encode("ascii"))
-        h.update(a.tobytes())
-    return h.hexdigest()
-
-
-def _values_digest(csr: CSRMatrix) -> str:
-    h = hashlib.blake2b(digest_size=16)
-    a = np.ascontiguousarray(csr.values)
-    h.update(a.dtype.str.encode("ascii"))
-    h.update(a.tobytes())
-    return h.hexdigest()
+# matrix_fingerprint / _values_digest / _body_checksum live in
+# repro.model.signature now (one canonical content-hash implementation,
+# format pinned by tests/model/test_signature.py); re-imported above so
+# every existing call site and the public `matrix_fingerprint` export
+# keep working unchanged.
 
 
 @dataclass
@@ -438,6 +402,11 @@ class OptimizationPlan:
     #: configuration. Serialized with the plan, so a warm-started cache
     #: entry rebuilds the exact same stack in a fresh process.
     executor_spec: ExecutorSpec = field(default_factory=ExecutorSpec)
+    #: signature of the :class:`~repro.model.base.CostModel` the
+    #: decision was made under ("analytic", or
+    #: "calibrated:<profile digest>"). v1/v2 payloads upgrade to
+    #: "analytic" — the only model those builds had.
+    cost_model: str = "analytic"
 
     @property
     def total_overhead_seconds(self) -> float:
@@ -457,19 +426,21 @@ class OptimizationPlan:
             "cache_hit": bool(self.cache_hit),
             "quarantined": list(self.quarantined),
             "executor_spec": self.executor_spec.to_dict(),
+            "cost_model": self.cost_model,
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "OptimizationPlan":
         """Inverse of :meth:`to_dict`; rejects unknown schema versions.
 
-        v1 payloads (written before the execution engine existed) are
-        still accepted: they carry no ``executor_spec``, so the entry is
-        upgraded to the default serial spec — exactly how those plans
-        executed — instead of being dropped on cache load.
+        v1 payloads (written before the execution engine existed) carry
+        no ``executor_spec`` and upgrade to the default serial spec; v2
+        payloads (pre-cost-model) carry no ``cost_model`` and upgrade
+        to ``"analytic"`` — in both cases exactly how those plans were
+        decided and executed, so old caches load instead of dropping.
         """
         version = payload.get("schema_version")
-        if version not in (1, PLAN_SCHEMA_VERSION):
+        if version not in (1, 2, PLAN_SCHEMA_VERSION):
             raise ValueError(
                 f"unsupported plan schema {version!r} "
                 f"(this build reads {PLAN_SCHEMA_VERSION})"
@@ -481,6 +452,7 @@ class OptimizationPlan:
         )
         return cls(
             executor_spec=executor_spec,
+            cost_model=payload.get("cost_model", "analytic"),
             classes=frozenset(
                 Bottleneck(v) for v in payload["classes"]
             ),
@@ -518,6 +490,9 @@ class OptimizedSpMV:
     #: the optimizer's :class:`~repro.parallel.ParallelConfig` (None
     #: for serial planning); consumed by :meth:`parallel_operator`.
     parallel_config: object | None = field(default=None, repr=False)
+    #: the :class:`~repro.model.base.CostModel` predictions run through
+    #: (None falls back to a fresh analytic model on first use).
+    model: object | None = field(default=None, repr=False)
     #: memoized :class:`~repro.engine.KernelExecutor` behind
     #: ``matvec``/``matmat``; rebuilt whenever ``kernel``/``data`` are
     #: reassigned (identity-checked per call, so live mutation of the
@@ -620,9 +595,20 @@ class OptimizedSpMV:
                             schedule=schedule, chunk_rows=chunk_rows)
 
     def simulate(self, nthreads: int | None = None) -> RunResult:
-        """Simulated execution on the target machine."""
-        engine = ExecutionEngine(self.machine, nthreads)
-        return engine.run(self.kernel, self.data, self.partition)
+        """Predicted execution on the target machine, through the
+        operator's cost model (calibrated when planned that way).
+
+        ``nthreads=None`` means the machine's full thread count — the
+        pre-model default — independent of the model's own default, so
+        operators planned at a reduced thread count keep reporting the
+        same headline number they always did.
+        """
+        if self.model is None:
+            self.model = AnalyticModel(self.machine)
+        if nthreads is None:
+            nthreads = self.machine.total_threads
+        return self.model.run(self.kernel, self.data, self.partition,
+                              nthreads=nthreads)
 
 
 class AdaptiveSpMV:
@@ -665,6 +651,15 @@ class AdaptiveSpMV:
         :func:`~repro.pipeline.stages.default_planning_stages`, i.e.
         analyze → classify → select → transform). Replace or extend to
         swap individual stages without touching the others.
+    model
+        The :class:`~repro.model.base.CostModel` every prediction in
+        the pipeline runs through (default: a fresh
+        :class:`~repro.model.AnalyticModel` — the pre-model behavior,
+        including unchanged plan-cache keys). Pass a
+        :class:`~repro.model.CalibratedModel` to classify, select and
+        predict against host-calibrated estimates; its profile
+        signature folds into the cache keys, so recalibration
+        invalidates stale plans.
     """
 
     def __init__(
@@ -678,10 +673,21 @@ class AdaptiveSpMV:
         stages=None,
         parallel=None,
         spec: ExecutorSpec | None = None,
+        model=None,
     ):
         self.machine = machine
         self.pool = pool or DEFAULT_POOL
         self.nthreads = nthreads
+        if model is None:
+            model = AnalyticModel(machine, nthreads)
+        elif model.machine is not machine and model.machine.name != machine.name:
+            raise ValueError(
+                f"model targets machine {model.machine.name!r}, "
+                f"optimizer targets {machine.name!r}"
+            )
+        #: the :class:`~repro.model.base.CostModel` behind every
+        #: prediction this optimizer makes.
+        self.model = model
         if parallel is not None and not hasattr(parallel, "signature"):
             raise TypeError(
                 "parallel must be a repro.parallel.ParallelConfig "
@@ -726,7 +732,7 @@ class AdaptiveSpMV:
             )
         if classifier == "profile":
             self._classifier = ProfileGuidedClassifier(
-                machine, nthreads=nthreads
+                machine, nthreads=nthreads, model=self.model
             )
             self.classifier_kind = "profile-guided"
         elif isinstance(classifier, FeatureGuidedClassifier):
@@ -769,10 +775,18 @@ class AdaptiveSpMV:
         which excludes the guard/trace axes (guarding re-wraps on
         lookup, tracing is observability) and collapses to the exact
         pre-engine strings for legacy-equivalent specs, so plan caches
-        saved by earlier builds still warm-start.
+        saved by earlier builds still warm-start. The cost model's
+        :meth:`~repro.model.base.CostModel.cache_signature` is appended
+        only when non-empty — the analytic model contributes nothing
+        (legacy keys byte-identical), a calibrated model contributes
+        its profile digest (recalibration invalidates stale plans).
         """
         nthreads = "default" if self.nthreads is None else int(self.nthreads)
-        return f"nthreads={nthreads};{self.spec.cache_signature()}"
+        sig = f"nthreads={nthreads};{self.spec.cache_signature()}"
+        model_sig = self.model.cache_signature()
+        if model_sig:
+            sig = f"{sig};{model_sig}"
+        return sig
 
     def _run_stages(self, csr: CSRMatrix, materialize: bool,
                     tracer: Tracer) -> PipelineContext:
@@ -787,6 +801,7 @@ class AdaptiveSpMV:
             materialize=materialize,
             nthreads=self.nthreads,
             spec=self.spec,
+            model=self.model,
             tracer=tracer,
         )
         return run_stages(self.stages, ctx)
@@ -886,6 +901,7 @@ class AdaptiveSpMV:
                     machine=self.machine, plan=plan,
                     workspace=entry.arena(),
                     parallel_config=self.parallel,
+                    model=self.model,
                 )
             # Same structure, new values: the decision is free but the
             # format conversion must re-run and stays charged.
@@ -902,6 +918,7 @@ class AdaptiveSpMV:
                 machine=self.machine, plan=plan,
                 workspace=entry.arena(),
                 parallel_config=self.parallel,
+                model=self.model,
             )
         ctx = self._run_stages(csr, materialize=True, tracer=own_tracer)
         plan = ctx.build_plan()
@@ -916,4 +933,5 @@ class AdaptiveSpMV:
             plan=plan,
             workspace=entry.arena(),
             parallel_config=self.parallel,
+            model=self.model,
         )

@@ -15,7 +15,8 @@ from itertools import combinations
 
 from ..formats import CSRMatrix
 from ..kernels import ConfiguredSpMV, baseline_kernel, merged_pool_kernel
-from ..machine import ExecutionEngine, MachineSpec, RunResult
+from ..machine import MachineSpec, RunResult
+from ..model import AnalyticModel
 
 __all__ = ["OracleChoice", "oracle_search", "oracle_configurations"]
 
@@ -58,9 +59,9 @@ def oracle_search(
     nthreads: int | None = None,
 ) -> OracleChoice:
     """Exhaustively find the best pool configuration for ``csr``."""
-    engine = ExecutionEngine(machine, nthreads)
+    model = AnalyticModel(machine, nthreads)
     base = baseline_kernel()
-    baseline = engine.run(base, base.preprocess(csr))
+    baseline = model.run(base, base.preprocess(csr))
 
     best_names: tuple[str, ...] = ()
     best = baseline
@@ -69,7 +70,7 @@ def oracle_search(
         kernel: ConfiguredSpMV = (
             merged_pool_kernel(names) if names else baseline_kernel()
         )
-        result = engine.run(kernel, kernel.preprocess(csr))
+        result = model.run(kernel, kernel.preprocess(csr))
         n += 1
         if result.gflops > best.gflops:
             best = result

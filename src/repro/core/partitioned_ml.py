@@ -28,7 +28,8 @@ import numpy as np
 
 from ..formats import CSRMatrix
 from ..kernels import RegularizedColindSpMV, baseline_kernel
-from ..machine import ExecutionEngine, MachineSpec
+from ..machine import MachineSpec
+from ..model import AnalyticModel
 from ..sched import balanced_nnz
 from .bounds import PROFILING_ITERATIONS
 from .classes import Bottleneck, ClassSet
@@ -112,11 +113,11 @@ class PartitionedMLDetector:
         """Per-partition baseline vs regularized analysis."""
         if csr.nnz == 0:
             raise ValueError("cannot analyze an empty matrix")
-        engine = ExecutionEngine(self.machine, self.nthreads)
+        model = AnalyticModel(self.machine, self.nthreads)
         base = baseline_kernel()
         reg = RegularizedColindSpMV()
 
-        whole = self._gain_of(engine, base, reg, csr)
+        whole = self._gain_of(model, base, reg, csr)
 
         # nnz-balanced row blocks (never splitting a row).
         bounds = balanced_nnz(csr, self.n_partitions).boundaries
@@ -128,8 +129,8 @@ class PartitionedMLDetector:
             block = csr.submatrix_rows(lo, hi)
             if block.nnz == 0:
                 continue
-            r_csr = engine.run(base, base.preprocess(block))
-            r_ml = engine.run(reg, block)
+            r_csr = model.run(base, base.preprocess(block))
+            r_ml = model.run(reg, block)
             gains.append(
                 PartitionGain(
                     row_start=lo,
@@ -159,9 +160,9 @@ class PartitionedMLDetector:
         return iterations * seconds
 
     @staticmethod
-    def _gain_of(engine, base, reg, csr) -> float:
-        r_csr = engine.run(base, base.preprocess(csr))
-        r_ml = engine.run(reg, csr)
+    def _gain_of(model, base, reg, csr) -> float:
+        r_csr = model.run(base, base.preprocess(csr))
+        r_ml = model.run(reg, csr)
         return r_ml.gflops / r_csr.gflops
 
 

@@ -100,22 +100,15 @@ class OptimizationPool:
         (including for caches persisted via ``PlanCache.save``) —
         unlike ``id(pool)``, which is unstable across processes and can
         collide after garbage collection reuses an address.
+
+        The string format itself lives in :func:`repro.model.signature.
+        mapping_signature` (shared with every other content-addressed
+        artifact) and is pinned by ``tests/model/test_signature.py`` —
+        persisted plan-cache keys embed it verbatim.
         """
-        parts = []
-        for bottleneck in sorted(self.mapping, key=lambda b: b.value):
-            entry = self.mapping[bottleneck]
-            if isinstance(entry, str):
-                desc = entry
-            else:
-                func = getattr(entry, "__func__", entry)
-                module = getattr(func, "__module__", "?")
-                qualname = getattr(func, "__qualname__", repr(entry))
-                desc = f"callable:{module}.{qualname}"
-            parts.append(f"{bottleneck.value}={desc}")
-        policy = ",".join(
-            f"{k}={v!r}" for k, v in sorted(asdict(self.policy).items())
-        )
-        return ";".join(parts) + "|" + policy
+        from ..model.signature import mapping_signature
+
+        return mapping_signature(self.mapping, asdict(self.policy))
 
     def imb_strategy(self, features: FeatureVector) -> str:
         """Pick the IMB sub-optimization from structural features."""

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 from ..formats import CSRMatrix
 from ..machine import MachineSpec
-from .bounds import PerformanceBounds, measure_bounds, profiling_seconds
+from ..model import AnalyticModel, PerformanceBounds, profiling_seconds
 from .classes import Bottleneck, ClassSet
 
 __all__ = ["ProfileThresholds", "ProfileGuidedClassifier", "classify_from_bounds"]
@@ -70,21 +70,32 @@ def classify_from_bounds(
 
 
 class ProfileGuidedClassifier:
-    """Classifies matrices by online profiling on a target machine."""
+    """Classifies matrices by online profiling on a target machine.
+
+    ``model`` is the :class:`~repro.model.base.CostModel` the bounds are
+    derived from (default: the pure analytic model). Passing a
+    :class:`~repro.model.CalibratedModel` makes the Fig. 5 rules decide
+    from host-calibrated bounds — the same thresholds, better inputs.
+    """
 
     def __init__(
         self,
         machine: MachineSpec,
         thresholds: ProfileThresholds | None = None,
         nthreads: int | None = None,
+        model=None,
     ):
         self.machine = machine
         self.thresholds = thresholds or ProfileThresholds()
         self.nthreads = nthreads
+        self.model = (
+            model if model is not None
+            else AnalyticModel(machine, nthreads)
+        )
 
     def bounds(self, csr: CSRMatrix) -> PerformanceBounds:
         """The measured bounds this classifier decides from."""
-        return measure_bounds(csr, self.machine, self.nthreads)
+        return self.model.bounds(csr)
 
     def classify(self, csr: CSRMatrix) -> ClassSet:
         """Detected bottleneck classes of ``csr`` on the target machine."""

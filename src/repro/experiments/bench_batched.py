@@ -37,18 +37,20 @@ __all__ = [
 #: Required top-level keys of ``BENCH_kernels.json``.
 BENCH_SCHEMA_KEYS = frozenset(
     {"schema_version", "rhs", "repeats", "suite", "kernels",
-     "geomean_speedup", "parallel"}
+     "geomean_speedup", "parallel", "cost_model"}
 )
 #: Required keys of every per-kernel measurement row.
 ROW_SCHEMA_KEYS = frozenset(
     {"kernel", "matrix", "nrows", "nnz", "single_gflops",
      "batched_gflops", "speedup", "single_allocs",
-     "single_steady_peak_bytes", "workspace_hit_rate"}
+     "single_steady_peak_bytes", "workspace_hit_rate",
+     "predicted_gflops", "model_error_pct"}
 )
 #: Required keys of every measured-parallel row.
 PARALLEL_ROW_SCHEMA_KEYS = frozenset(
     {"matrix", "schedule", "nthreads", "gflops", "wall_seconds",
-     "imbalance", "wall_imbalance", "speedup"}
+     "imbalance", "wall_imbalance", "speedup",
+     "predicted_gflops", "model_error_pct"}
 )
 
 #: Thread counts swept by the measured-parallel section.
@@ -60,7 +62,13 @@ PARALLEL_THREADS = (1, 2, 4, 8)
 #: v3: a ``parallel`` section with *measured* shared-memory runs —
 #: per-thread CPU-time imbalance and wall makespan for every schedule
 #: policy at threads in :data:`PARALLEL_THREADS`.
-SCHEMA_VERSION = 3
+#: v4: every measurement row carries the cost model's prediction next
+#: to the measurement (``predicted_gflops`` / ``model_error_pct``) and
+#: the payload records which model predicted (``cost_model``); a
+#: :class:`~repro.model.CalibratedModel` passed as ``model=`` also
+#: accumulates the pairs for :meth:`~repro.model.CalibratedModel.
+#: refine`.
+SCHEMA_VERSION = 4
 
 
 def measure_steady_allocs(fn, *, min_block_bytes: int = 4096) -> dict:
@@ -120,6 +128,15 @@ def _bench_kernel_variants() -> list[tuple[str, object]]:
     ]
 
 
+def _default_model(nthreads=None):
+    """The model v4 rows predict through when none is passed: the pure
+    analytic simulator for the default platform."""
+    from ..machine import KNL
+    from ..model import AnalyticModel
+
+    return AnalyticModel(KNL, nthreads)
+
+
 def bench_parallel(
     *,
     threads: tuple[int, ...] = PARALLEL_THREADS,
@@ -128,6 +145,7 @@ def bench_parallel(
     repeats: int = 3,
     matrices: list[tuple[str, CSRMatrix]] | None = None,
     engine_spec=None,
+    model=None,
 ) -> list[dict]:
     """Measure real threaded SpMV for every schedule policy.
 
@@ -145,22 +163,34 @@ def bench_parallel(
     extra middleware — guard, supervision, a workspace arena — around
     each measured cell; its ``parallel`` axis is overridden by the
     (``schedule``, ``nthreads``) grid being swept.
+
+    Since schema v4 every row also carries ``model``'s prediction for
+    the same (schedule, nthreads) cell and the relative error against
+    the measurement; if the model exposes ``observe`` (a
+    :class:`~repro.model.CalibratedModel`), each predicted/measured
+    pair is fed to its refinement buffer.
     """
     from dataclasses import replace
 
     from ..engine import ExecutorSpec, build_executor
+    from ..kernels import baseline_kernel
+    from ..model import prediction_error_pct
     from ..parallel import ParallelConfig
-    from ..sched import SCHEDULE_POLICIES
+    from ..sched import SCHEDULE_POLICIES, make_partition
 
     base_spec = engine_spec if engine_spec is not None else ExecutorSpec()
     if schedules is None:
         schedules = tuple(SCHEDULE_POLICIES)
     if matrices is None:
         matrices = _bench_matrices(scale)
+    if model is None:
+        model = _default_model()
+    base_kernel = baseline_kernel()
     rows: list[dict] = []
     for mat_name, csr in matrices:
         x = np.linspace(-1.0, 1.0, csr.ncols)
         flops = 2.0 * csr.nnz
+        base_data = base_kernel.preprocess(csr)
         for schedule in schedules:
             base_wall = None
             for nthreads in threads:
@@ -189,15 +219,29 @@ def bench_parallel(
                     continue
                 if base_wall is None:
                     base_wall = best.wall_seconds
+                predicted = model.run(
+                    base_kernel, base_data,
+                    make_partition(csr, nthreads, schedule),
+                    nthreads=nthreads,
+                )
+                measured_gflops = flops / best.wall_seconds / 1e9
+                observe = getattr(model, "observe", None)
+                if observe is not None:
+                    observe(base_kernel.name, predicted.seconds,
+                            best.wall_seconds)
                 rows.append({
                     "matrix": mat_name,
                     "schedule": schedule,
                     "nthreads": int(nthreads),
-                    "gflops": flops / best.wall_seconds / 1e9,
+                    "gflops": measured_gflops,
                     "wall_seconds": best.wall_seconds,
                     "imbalance": best.imbalance,
                     "wall_imbalance": best.wall_imbalance,
                     "speedup": base_wall / best.wall_seconds,
+                    "predicted_gflops": float(predicted.gflops),
+                    "model_error_pct": prediction_error_pct(
+                        predicted.gflops, measured_gflops
+                    ),
                 })
     return rows
 
@@ -212,6 +256,7 @@ def bench_kernels(
     threads: tuple[int, ...] = PARALLEL_THREADS,
     parallel_schedules: tuple[str, ...] | None = None,
     engine_spec=None,
+    model=None,
 ) -> dict:
     """Measure single-RHS vs batched GFLOP/s for every kernel variant.
 
@@ -225,14 +270,24 @@ def bench_kernels(
     :class:`~repro.memory.Workspace` arena), and each row carries the
     steady-state telemetry: retained-allocation count and transient
     peak bytes of one post-warmup apply, and the arena's hit rate over
-    the timed loop. Returns the ``BENCH_kernels.json`` payload.
+    the timed loop.
+
+    Since schema v4 each row also records ``model``'s serial-rate
+    prediction (``predicted_gflops``, at one thread — the single-RHS
+    loop is serial) and its relative error against the measured
+    single-RHS rate; the payload's ``cost_model`` field names the
+    predicting model. Returns the ``BENCH_kernels.json`` payload.
     """
+    from ..model import prediction_error_pct
+
     if rhs < 1:
         raise ValueError("rhs must be >= 1")
     if matrices is None:
         matrices = _bench_matrices(scale)
     if kernels is None:
         kernels = _bench_kernel_variants()
+    if model is None:
+        model = _default_model()
     rng = np.random.default_rng(2017)
     runner = PipelineRunner()
 
@@ -269,23 +324,37 @@ def bench_kernels(
                 lambda: kernel.apply_multi(data, X), repeats=repeats,
                 label=f"batched:{kern_name}:{mat_name}",
             )
+            single_gflops = flops / t_single / 1e9
+            # Serial-rate prediction: the single-RHS loop runs one
+            # thread, so predict at nthreads=1 and compare per-matvec
+            # rates (identical flop accounting on both sides).
+            predicted = model.run(kernel, data, nthreads=1)
+            predicted_gflops = float(predicted.gflops)
+            observe = getattr(model, "observe", None)
+            if observe is not None:
+                observe(kernel.name, predicted.seconds, t_single / rhs)
             rows.append({
                 "kernel": kern_name,
                 "matrix": mat_name,
                 "nrows": csr.nrows,
                 "nnz": csr.nnz,
-                "single_gflops": flops / t_single / 1e9,
+                "single_gflops": single_gflops,
                 "batched_gflops": flops / t_batched / 1e9,
                 "speedup": t_single / t_batched,
                 "single_allocs": allocs["count"],
                 "single_steady_peak_bytes": allocs["peak_bytes"],
                 "workspace_hit_rate": hit_rate,
+                "predicted_gflops": predicted_gflops,
+                "model_error_pct": prediction_error_pct(
+                    predicted_gflops, single_gflops
+                ),
             })
 
     return {
         "schema_version": SCHEMA_VERSION,
         "rhs": int(rhs),
         "repeats": int(repeats),
+        "cost_model": model.signature(),
         "suite": [
             {"matrix": name, "nrows": csr.nrows, "nnz": csr.nnz}
             for name, csr in matrices
@@ -300,7 +369,7 @@ def bench_kernels(
             "rows": bench_parallel(
                 threads=threads, schedules=parallel_schedules,
                 repeats=repeats, matrices=matrices,
-                engine_spec=engine_spec,
+                engine_spec=engine_spec, model=model,
             ),
         },
     }
@@ -317,19 +386,21 @@ def run(
     threads: tuple[int, ...] = PARALLEL_THREADS,
     parallel_schedules: tuple[str, ...] | None = None,
     engine_spec=None,
+    model=None,
 ) -> ExperimentTable:
     """Run the batched-throughput benchmark and render it as a table.
 
     ``out_path`` (default ``BENCH_kernels.json`` in the current
     directory) receives the machine-readable payload; pass ``None`` to
     skip writing. ``engine_spec`` layers extra engine middleware around
-    the measured-parallel section (see :func:`bench_parallel`).
+    the measured-parallel section (see :func:`bench_parallel`);
+    ``model`` selects the cost model behind the v4 prediction columns.
     """
     payload = bench_kernels(
         rhs=rhs, scale=scale, repeats=repeats,
         matrices=matrices, kernels=kernels,
         threads=threads, parallel_schedules=parallel_schedules,
-        engine_spec=engine_spec,
+        engine_spec=engine_spec, model=model,
     )
     table = ExperimentTable(
         experiment_id="bench-batched",
@@ -348,6 +419,17 @@ def run(
         f"geomean batched speedup {payload['geomean_speedup']:.2f}x "
         f"over {rhs} sequential matvecs (wall-clock, this host)"
     )
+    errors = [
+        r["model_error_pct"]
+        for r in payload["kernels"] + payload["parallel"]["rows"]
+        if np.isfinite(r["model_error_pct"])
+    ]
+    if errors:
+        table.note(
+            f"cost model [{payload['cost_model']}]: median prediction "
+            f"error {float(np.median(errors)):.1f}% over "
+            f"{len(errors)} cells"
+        )
     par = payload["parallel"]
     tmax = max(par["threads"])
     for schedule in sorted({r["schedule"] for r in par["rows"]}):

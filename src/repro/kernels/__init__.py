@@ -2,7 +2,13 @@
 
 from .base import Kernel
 from .costmodel import row_compute_cycles, row_stream_bytes, spmv_cost
-from .microbench import RegularizedColindSpMV, UnitStrideSpMV
+from .microbench import (
+    MicroTiming,
+    RegularizedColindSpMV,
+    UnitStrideSpMV,
+    time_callable,
+    time_kernel,
+)
 from .preprocess_cost import (
     JIT_CODEGEN_SECONDS,
     decomposition_seconds,
@@ -45,6 +51,9 @@ __all__ = [
     "baseline_kernel",
     "RegularizedColindSpMV",
     "UnitStrideSpMV",
+    "MicroTiming",
+    "time_callable",
+    "time_kernel",
     "spmv_cost",
     "row_compute_cycles",
     "row_stream_bytes",

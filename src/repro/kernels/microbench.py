@@ -15,9 +15,20 @@ running a *modified* SpMV kernel:
 
 Both kernels are *numerically different* from SpMV by construction —
 they are measurement instruments, not solvers.
+
+The module also hosts the host-side micro-timing harness
+(:func:`time_callable` / :func:`time_kernel`) that
+:func:`repro.model.profile.calibrate` builds machine profiles from.
+Every timing warms up before measuring and reports the median of k
+samples — a single cold sample folds first-touch page faults, lazy
+imports and cache fills into the "kernel time" and would poison the
+calibration scales.
 """
 
 from __future__ import annotations
+
+import time
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -27,7 +38,65 @@ from ..sched import Partition
 from .base import Kernel
 from .costmodel import spmv_cost
 
-__all__ = ["RegularizedColindSpMV", "UnitStrideSpMV"]
+__all__ = [
+    "RegularizedColindSpMV",
+    "UnitStrideSpMV",
+    "MicroTiming",
+    "time_callable",
+    "time_kernel",
+]
+
+
+@dataclass(frozen=True)
+class MicroTiming:
+    """One micro-benchmark timing: warmed, median-of-k."""
+
+    median_seconds: float
+    best_seconds: float
+    samples: tuple[float, ...]
+    warmup: int
+
+    @property
+    def repeats(self) -> int:
+        return len(self.samples)
+
+
+def time_callable(fn, *, repeats: int = 7,
+                  warmup: int = 2) -> MicroTiming:
+    """Time ``repeats`` calls of ``fn()`` after ``warmup`` discarded calls.
+
+    The warmup calls run ``fn`` end to end (first-touch allocation,
+    cache fill, any lazy setup) but contribute nothing to the
+    statistics; the reported figure is the **median** sample, which is
+    robust against one preempted repeat in a way neither a single
+    sample nor the mean is. ``best_seconds`` (the minimum) is kept for
+    scaling studies where noise only ever adds.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be >= 0")
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return MicroTiming(
+        median_seconds=float(np.median(samples)),
+        best_seconds=float(np.min(samples)),
+        samples=tuple(samples),
+        warmup=warmup,
+    )
+
+
+def time_kernel(kernel, data, x, *, repeats: int = 7,
+                warmup: int = 2) -> MicroTiming:
+    """Warmed median-of-k timing of one ``kernel.apply(data, x)``."""
+    return time_callable(
+        lambda: kernel.apply(data, x), repeats=repeats, warmup=warmup
+    )
 
 
 class RegularizedColindSpMV(Kernel):

@@ -42,6 +42,9 @@ class PipelineContext:
     #: the optimizer's :class:`~repro.engine.ExecutorSpec` — folded
     #: into the built plan so a cached plan rebuilds the same stack.
     spec: object | None = None
+    #: the :class:`~repro.model.base.CostModel` predictions run through
+    #: (None: stages fall back to a fresh analytic model).
+    model: object | None = None
     tracer: Tracer = field(default_factory=Tracer)
 
     # -- produced by the stages ---------------------------------------
@@ -79,6 +82,10 @@ class PipelineContext:
             setup_seconds=self.setup_seconds,
             classifier_kind=self.classifier_kind,
             quarantined=self.quarantined,
+            cost_model=(
+                self.model.signature() if self.model is not None
+                else "analytic"
+            ),
         )
         if self.spec is not None:
             from dataclasses import replace

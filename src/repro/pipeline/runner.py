@@ -25,8 +25,9 @@ import time
 import numpy as np
 
 from ..formats import CSRMatrix
-from ..machine import ExecutionEngine, MachineSpec, RunResult
+from ..machine import MachineSpec, RunResult
 from ..memory import Workspace
+from ..model import AnalyticModel
 from .context import PipelineContext
 from .stages import ExecuteStage
 from .tracer import Tracer
@@ -42,21 +43,35 @@ class PipelineRunner:
     so repeat executions — even across different matrices of the same
     shape — reuse scratch buffers instead of reallocating them. The
     arena's hit/miss/bytes-held counters are exported on each execute
-    span."""
+    span.
+
+    ``model`` is the :class:`~repro.model.base.CostModel` every
+    prediction runs through (default: a fresh analytic model for the
+    runner's machine). With a :class:`~repro.model.CalibratedModel`,
+    :meth:`measure_parallel`'s execute spans feed the predicted vs
+    measured pairs back into the model's refinement buffer."""
 
     def __init__(self, machine: MachineSpec | None = None,
                  nthreads: int | None = None,
                  tracer: Tracer | None = None,
-                 workspace: Workspace | None = None):
+                 workspace: Workspace | None = None,
+                 model=None):
         self.machine = machine
         self.nthreads = nthreads
         self.tracer = tracer if tracer is not None else Tracer()
         self.workspace = workspace if workspace is not None else Workspace()
+        self.model = model
 
     def _require_machine(self) -> MachineSpec:
         if self.machine is None:
             raise ValueError("this runner was built without a machine")
         return self.machine
+
+    def _require_model(self):
+        if self.model is None:
+            self.model = AnalyticModel(self._require_machine(),
+                                       self.nthreads)
+        return self.model
 
     # -- simulated execution -------------------------------------------
 
@@ -69,6 +84,7 @@ class PipelineRunner:
         transform and execute spans on the runner's tracer.
         """
         machine = self._require_machine()
+        model = self._require_model()
         name = label or kernel.name
         if data is None:
             with self.tracer.span("transform", kernel=name) as span:
@@ -76,10 +92,12 @@ class PipelineRunner:
                 span.charged_seconds = kernel.preprocessing_seconds(
                     csr, machine
                 )
-        engine = ExecutionEngine(machine, self.nthreads)
         with self.tracer.span("execute", kernel=name) as span:
-            result = engine.run(kernel, data, partition)
+            result = model.run(kernel, data, partition,
+                               nthreads=self.nthreads)
             span.set(**result.summary())
+            span.set(cost_model=model.signature(),
+                     predicted_gflops=float(result.gflops))
         return result
 
     def run_optimized(self, optimizer, csr: CSRMatrix):
@@ -99,6 +117,8 @@ class PipelineRunner:
             classifier_kind=operator.plan.classifier_kind,
             pool=None,
             nthreads=self.nthreads,
+            model=self.model if self.model is not None
+            else getattr(operator, "model", None),
             tracer=self.tracer,
         )
         ctx.kernel = operator.kernel
@@ -116,7 +136,7 @@ class PipelineRunner:
                          schedule: str | None = None,
                          chunk_rows: int | None = None,
                          repeats: int = 3, data=None,
-                         deadline_seconds: float | None = None,
+                         deadline_seconds: "float | str | None" = None,
                          max_retries: int = 2):
         """Run ``kernel`` for real on the shared-memory pool and return
         ``(result, measurement, supervision)``.
@@ -141,6 +161,7 @@ class PipelineRunner:
             classifier_kind="none",
             pool=None,
             nthreads=nthreads,
+            model=self._require_model(),
             tracer=self.tracer,
         )
         ctx.kernel = kernel

@@ -5,8 +5,10 @@ from .policies import (
     SCHEDULE_POLICIES,
     auto_chunked,
     balanced_nnz,
+    best_policy,
     dynamic_chunks,
     make_partition,
+    rank_policies,
     static_rows,
 )
 
@@ -17,5 +19,7 @@ __all__ = [
     "auto_chunked",
     "dynamic_chunks",
     "make_partition",
+    "rank_policies",
+    "best_policy",
     "SCHEDULE_POLICIES",
 ]

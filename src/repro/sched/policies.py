@@ -30,6 +30,8 @@ __all__ = [
     "auto_chunked",
     "dynamic_chunks",
     "make_partition",
+    "rank_policies",
+    "best_policy",
     "SCHEDULE_POLICIES",
 ]
 
@@ -184,3 +186,50 @@ def make_partition(csr: CSRMatrix, nthreads: int, policy: str = "balanced-nnz",
             f"available: {sorted(SCHEDULE_POLICIES)}"
         ) from None
     return factory(csr, nthreads, **kwargs) if kwargs else factory(csr, nthreads)
+
+
+def rank_policies(csr: CSRMatrix, model, nthreads: int, kernel=None,
+                  *, policies=None, data=None):
+    """Rank schedule policies by the cost model's predicted makespan.
+
+    Builds one partition per policy and asks ``model`` (any
+    :class:`~repro.model.base.CostModel`) to predict the same kernel on
+    each; returns ``[(name, Prediction), ...]`` sorted fastest first.
+    This replaces the ad-hoc "run the engine for each schedule and
+    compare" loops: a calibrated model ranks with host-measured scales,
+    the analytic model with the paper's cost planes — same code path.
+
+    ``kernel`` defaults to the reference CSR kernel, ``data`` to its
+    preprocessed form (pass both to amortize preprocessing across
+    calls); ``policies`` restricts the candidate set.
+    """
+    from ..kernels import baseline_kernel  # sched must not import kernels at top level
+
+    check_positive("nthreads", nthreads)
+    if kernel is None:
+        kernel = baseline_kernel()
+    if data is None:
+        data = kernel.preprocess(csr)
+    names = tuple(policies) if policies is not None else tuple(SCHEDULE_POLICIES)
+    unknown = [n for n in names if n not in SCHEDULE_POLICIES]
+    if unknown:
+        raise ValueError(
+            f"unknown schedule policies {unknown!r}; "
+            f"available: {sorted(SCHEDULE_POLICIES)}"
+        )
+    ranked = [
+        (name,
+         model.predict(kernel, data, make_partition(csr, nthreads, name),
+                       nthreads=nthreads))
+        for name in names
+    ]
+    ranked.sort(key=lambda item: item[1].seconds)
+    return ranked
+
+
+def best_policy(csr: CSRMatrix, model, nthreads: int, kernel=None,
+                *, policies=None, data=None) -> str:
+    """Name of the policy the model predicts fastest (see
+    :func:`rank_policies`)."""
+    return rank_policies(csr, model, nthreads, kernel,
+                         policies=policies, data=data)[0][0]

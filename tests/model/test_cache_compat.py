@@ -1,0 +1,124 @@
+"""Plan-cache key compatibility across the cost-model refactor.
+
+Two invariants:
+
+* an :class:`~repro.model.AnalyticModel` (the default) contributes
+  NOTHING to cache keys — persisted caches from pre-model builds
+  warm-start byte-for-byte;
+* a :class:`~repro.model.CalibratedModel` folds its profile digest in,
+  so recalibration (or :meth:`~repro.model.CalibratedModel.refine`)
+  invalidates plans tuned against the stale profile.
+"""
+
+import pytest
+
+from repro.core import (
+    PLAN_SCHEMA_VERSION,
+    AdaptiveSpMV,
+    OptimizationPlan,
+    PlanCache,
+)
+from repro.machine import BROADWELL, KNL
+from repro.matrices.generators import banded
+from repro.model import AnalyticModel, CalibratedModel, MachineProfile
+
+
+@pytest.fixture(scope="module")
+def csr():
+    return banded(1500, nnz_per_row=7, seed=11)
+
+
+def test_analytic_execution_signature_is_legacy_exact():
+    """The exact pre-model string — persisted keys embed it."""
+    opt = AdaptiveSpMV(KNL, classifier="profile")
+    assert opt._execution_signature() == "nthreads=default;serial"
+    opt4 = AdaptiveSpMV(KNL, classifier="profile", nthreads=4)
+    assert opt4._execution_signature() == "nthreads=4;serial"
+
+
+def test_explicit_analytic_model_same_key(csr):
+    default = AdaptiveSpMV(KNL, classifier="profile")
+    explicit = AdaptiveSpMV(KNL, classifier="profile",
+                            model=AnalyticModel(KNL))
+    from repro.model import matrix_fingerprint
+
+    fp = matrix_fingerprint(csr)
+    assert default._cache_key(fp) == explicit._cache_key(fp)
+
+
+def test_calibrated_model_changes_key(csr):
+    from repro.model import matrix_fingerprint
+
+    profile = MachineProfile(machine_name=KNL.name,
+                             kernel_scales={"csr": 2.0})
+    analytic = AdaptiveSpMV(KNL, classifier="profile")
+    calibrated = AdaptiveSpMV(KNL, classifier="profile",
+                              model=CalibratedModel(KNL, profile))
+    fp = matrix_fingerprint(csr)
+    key_a = analytic._cache_key(fp)
+    key_c = calibrated._cache_key(fp)
+    assert key_a != key_c
+    assert f"model=calibrated:{profile.signature()}" in key_c[-1]
+    # ...and refining moves the key again
+    calibrated.model.observe("csr", 1.0, 3.0)
+    calibrated.model.refine()
+    assert calibrated._cache_key(fp) != key_c
+
+
+def test_adaptive_rejects_foreign_model():
+    with pytest.raises(ValueError, match="model targets machine"):
+        AdaptiveSpMV(KNL, classifier="profile",
+                     model=AnalyticModel(BROADWELL))
+
+
+def test_plan_ir_v3_round_trip(csr):
+    opt = AdaptiveSpMV(
+        KNL, classifier="profile",
+        model=CalibratedModel(KNL, MachineProfile.identity(KNL.name)),
+    )
+    plan = opt.plan(csr)
+    assert plan.cost_model.startswith("calibrated:")
+    payload = plan.to_dict()
+    assert payload["schema_version"] == PLAN_SCHEMA_VERSION == 3
+    restored = OptimizationPlan.from_dict(payload)
+    assert restored.cost_model == plan.cost_model
+
+
+def test_plan_ir_accepts_legacy_versions(csr):
+    """v1/v2 payloads (pre-cost-model builds) still load and upgrade to
+    the analytic default."""
+    plan = AdaptiveSpMV(KNL, classifier="profile").plan(csr)
+    payload = plan.to_dict()
+    for legacy_version in (1, 2):
+        legacy = dict(payload)
+        legacy["schema_version"] = legacy_version
+        legacy.pop("cost_model", None)
+        if legacy_version == 1:
+            legacy.pop("executor_spec", None)
+        restored = OptimizationPlan.from_dict(legacy)
+        assert restored.cost_model == "analytic"
+    bad = dict(payload, schema_version=99)
+    with pytest.raises(ValueError, match="schema"):
+        OptimizationPlan.from_dict(bad)
+
+
+def test_persisted_cache_warm_starts_across_models(csr, tmp_path):
+    """A cache persisted under the default model warm-starts an
+    explicitly-analytic optimizer (same key), and does NOT serve a
+    calibrated one (different key)."""
+    path = tmp_path / "plans.json"
+    first = AdaptiveSpMV(KNL, classifier="profile")
+    first.optimize(csr)
+    first.plan_cache.save(path)
+
+    warm = AdaptiveSpMV(KNL, classifier="profile",
+                        model=AnalyticModel(KNL),
+                        plan_cache=PlanCache.load(path))
+    assert warm.plan(csr).cache_hit
+
+    profile = MachineProfile(machine_name=KNL.name,
+                             kernel_scales={"csr": 2.0})
+    cold = AdaptiveSpMV(KNL, classifier="profile",
+                        model=CalibratedModel(KNL, profile),
+                        plan_cache=PlanCache.load(path))
+    assert not cold.plan(csr).cache_hit

@@ -1,0 +1,88 @@
+"""MachineProfile persistence and identity semantics."""
+
+import json
+
+import pytest
+
+from repro.machine import KNL
+from repro.model import PROFILE_SCHEMA_VERSION, MachineProfile
+
+
+def _profile() -> MachineProfile:
+    return MachineProfile(
+        machine_name=KNL.name,
+        bandwidth_scale=0.125,
+        kernel_scales={"csr": 3.5, "csr+delta+vec": 2.75},
+        measured={"stream_bandwidth_gbs": 24.5, "gather_latency_ns": 2.0},
+        host="testhost",
+        quick=True,
+        samples=2,
+    )
+
+
+def test_identity_profile():
+    p = MachineProfile.identity(KNL.name)
+    assert p.is_identity
+    assert p.bandwidth_scale == 1.0
+    assert p.default_scale == 1.0
+    assert p.scale_for("anything") == 1.0
+    assert not _profile().is_identity
+
+
+def test_round_trip_dict():
+    p = _profile()
+    q = MachineProfile.from_dict(p.to_dict())
+    assert q.machine_name == p.machine_name
+    assert q.bandwidth_scale == p.bandwidth_scale
+    assert q.kernel_scales == p.kernel_scales
+    assert q.measured == p.measured
+    assert q.host == p.host and q.quick == p.quick
+    assert q.signature() == p.signature()
+
+
+def test_save_load_round_trip(tmp_path):
+    path = tmp_path / "profile.json"
+    p = _profile()
+    p.save(path)
+    q = MachineProfile.load(path)
+    assert q.signature() == p.signature()
+    assert q.kernel_scales == p.kernel_scales
+    # checksummed envelope on disk
+    payload = json.loads(path.read_text())
+    assert set(payload) == {"checksum", "body"}
+    assert payload["body"]["schema_version"] == PROFILE_SCHEMA_VERSION
+
+
+def test_load_rejects_corruption(tmp_path):
+    path = tmp_path / "profile.json"
+    _profile().save(path)
+    payload = json.loads(path.read_text())
+    payload["body"]["bandwidth_scale"] = 99.0
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ValueError, match="checksum mismatch"):
+        MachineProfile.load(path)
+
+
+def test_load_rejects_wrong_schema(tmp_path):
+    from repro.model.signature import write_checksummed
+
+    path = tmp_path / "profile.json"
+    body = _profile().to_dict()
+    body["schema_version"] = PROFILE_SCHEMA_VERSION + 1
+    write_checksummed(path, body)
+    with pytest.raises(ValueError, match="schema"):
+        MachineProfile.load(path)
+
+
+def test_signature_covers_only_prediction_relevant_fields():
+    a = _profile()
+    b = _profile()
+    b.measured = {}
+    b.host = "elsewhere"
+    b.samples = 99
+    assert a.signature() == b.signature()
+    b.kernel_scales = dict(a.kernel_scales, csr=3.6)
+    assert a.signature() != b.signature()
+    c = _profile()
+    c.bandwidth_scale = 0.25
+    assert a.signature() != c.signature()

@@ -43,6 +43,9 @@ def _validate(payload):
         assert row["single_allocs"] >= 0
         assert row["single_steady_peak_bytes"] >= 0
         assert 0.0 <= row["workspace_hit_rate"] <= 1.0
+        assert row["predicted_gflops"] > 0.0
+        assert row["model_error_pct"] >= 0.0
+    assert isinstance(payload["cost_model"], str) and payload["cost_model"]
     assert payload["geomean_speedup"] > 0.0
     par = payload["parallel"]
     assert par["threads"], "no parallel thread counts"
@@ -56,6 +59,8 @@ def _validate(payload):
         assert row["imbalance"] >= 1.0
         assert row["wall_imbalance"] >= 1.0
         assert row["speedup"] > 0.0
+        assert row["predicted_gflops"] > 0.0
+        assert row["model_error_pct"] >= 0.0
 
 
 def test_bench_payload_schema():
@@ -91,6 +96,23 @@ def test_bench_rejects_bad_rhs():
 
     with pytest.raises(ValueError, match="rhs"):
         bench_kernels(rhs=0, matrices=TINY)
+
+
+def test_bench_feeds_calibrated_model_refinement():
+    """A CalibratedModel passed as ``model=`` accumulates one observed
+    predicted/measured pair per measurement cell (the refine loop's
+    input)."""
+    from repro.machine import KNL
+    from repro.model import CalibratedModel, MachineProfile
+
+    model = CalibratedModel(KNL, MachineProfile.identity(KNL.name))
+    payload = bench_kernels(rhs=2, repeats=1, matrices=TINY,
+                            threads=(1, 2), model=model)
+    assert payload["cost_model"] == model.signature()
+    cells = len(payload["kernels"]) + len(payload["parallel"]["rows"])
+    assert model.observation_count == cells
+    summary = model.refine()
+    assert summary  # at least one kernel's scale was updated
 
 
 def test_bench_parallel_covers_grid():
